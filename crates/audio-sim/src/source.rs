@@ -1,0 +1,141 @@
+//! Sound sources and their synthesized waveforms.
+
+use serde::{Deserialize, Serialize};
+use sim_math::Vec3;
+
+/// Identifies a source registered with the mixer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SourceId(pub u32);
+
+/// How the source behaves over time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SourceKind {
+    /// A looping, continuous sound (engine, ambient construction-site noise).
+    Continuous,
+    /// A one-shot effect that plays for a fixed duration and then stops
+    /// (collision clang, alarm beep).
+    OneShot {
+        /// Duration of the effect in seconds.
+        duration: f64,
+    },
+}
+
+/// The synthesized waveform of a source.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Waveform {
+    /// Pure tone at a frequency in hertz.
+    Sine {
+        /// Tone frequency.
+        frequency: f64,
+    },
+    /// Band-limited pseudo-noise (engine rumble, background noise).
+    Rumble {
+        /// Characteristic frequency of the rumble.
+        frequency: f64,
+    },
+    /// Exponentially decaying strike (collision clang).
+    Strike {
+        /// Fundamental frequency.
+        frequency: f64,
+        /// Decay rate per second.
+        decay: f64,
+    },
+}
+
+impl Waveform {
+    /// Sample the waveform at time `t` seconds after the source started.
+    pub fn sample(&self, t: f64) -> f64 {
+        use std::f64::consts::TAU;
+        match self {
+            Waveform::Sine { frequency } => (TAU * frequency * t).sin(),
+            Waveform::Rumble { frequency } => {
+                // Sum of detuned sines approximates a rough rumble deterministically.
+                0.5 * (TAU * frequency * t).sin()
+                    + 0.3 * (TAU * frequency * 1.83 * t).sin()
+                    + 0.2 * (TAU * frequency * 0.61 * t + 1.3).sin()
+            }
+            Waveform::Strike { frequency, decay } => (TAU * frequency * t).sin() * (-decay * t).exp(),
+        }
+    }
+}
+
+/// A sound source registered with the mixer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SoundSource {
+    /// Behaviour over time.
+    pub kind: SourceKind,
+    /// Waveform to synthesize.
+    pub waveform: Waveform,
+    /// Base gain in `[0, 1]`.
+    pub gain: f64,
+    /// World position, or `None` for non-positional (interface) sounds.
+    pub position: Option<Vec3>,
+    /// Seconds the source has been playing.
+    pub age: f64,
+}
+
+impl SoundSource {
+    /// Whether the source has finished playing.
+    pub fn finished(&self) -> bool {
+        match self.kind {
+            SourceKind::Continuous => false,
+            SourceKind::OneShot { duration } => self.age >= duration,
+        }
+    }
+
+    /// Current sample value (before attenuation).
+    pub fn sample(&self) -> f64 {
+        self.waveform.sample(self.age) * self.gain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waveforms_are_bounded() {
+        for wf in [
+            Waveform::Sine { frequency: 440.0 },
+            Waveform::Rumble { frequency: 55.0 },
+            Waveform::Strike { frequency: 880.0, decay: 4.0 },
+        ] {
+            for i in 0..1000 {
+                let v = wf.sample(i as f64 / 1000.0);
+                assert!(v.abs() <= 1.01, "waveform {wf:?} out of range: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn strike_decays() {
+        let wf = Waveform::Strike { frequency: 200.0, decay: 6.0 };
+        let early: f64 = (0..100).map(|i| wf.sample(i as f64 * 1e-3).abs()).fold(0.0, f64::max);
+        let late: f64 = (0..100).map(|i| wf.sample(1.0 + i as f64 * 1e-3).abs()).fold(0.0, f64::max);
+        assert!(late < early * 0.1);
+    }
+
+    #[test]
+    fn one_shot_finishes_and_continuous_does_not() {
+        let mut clang = SoundSource {
+            kind: SourceKind::OneShot { duration: 0.5 },
+            waveform: Waveform::Strike { frequency: 500.0, decay: 5.0 },
+            gain: 1.0,
+            position: None,
+            age: 0.0,
+        };
+        assert!(!clang.finished());
+        clang.age = 0.6;
+        assert!(clang.finished());
+
+        let engine = SoundSource {
+            kind: SourceKind::Continuous,
+            waveform: Waveform::Rumble { frequency: 40.0 },
+            gain: 0.5,
+            position: None,
+            age: 1_000.0,
+        };
+        assert!(!engine.finished());
+        assert!(engine.sample().abs() <= 0.51);
+    }
+}

@@ -1,0 +1,310 @@
+//! Compact binary codec for Communication Backbone wire messages.
+//!
+//! The original CB spoke raw datagrams on the LAN; this module provides the
+//! equivalent hand-rolled binary encoding. Only the approved `bytes` crate is
+//! used — no serialization framework — so the exact wire cost of every message
+//! is visible and is charged faithfully by the simulated LAN's bandwidth model.
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use crate::error::CbError;
+use crate::fom::{AttributeId, AttributeValues, Value};
+use cod_net::{Addr, Micros, NodeId, Port};
+
+/// A bounds-checked reader over a received payload.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a payload for decoding.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf }
+    }
+
+    /// Remaining bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    fn need(&self, n: usize) -> Result<(), CbError> {
+        if self.buf.remaining() < n {
+            Err(CbError::Codec(format!(
+                "truncated message: needed {n} more bytes, {} available",
+                self.buf.remaining()
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, CbError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    /// Reads a big-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, CbError> {
+        self.need(2)?;
+        Ok(self.buf.get_u16())
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CbError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32())
+    }
+
+    /// Reads a big-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CbError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64())
+    }
+
+    /// Reads a big-endian `f64`.
+    pub fn f64(&mut self) -> Result<f64, CbError> {
+        self.need(8)?;
+        Ok(self.buf.get_f64())
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, CbError> {
+        let len = self.u32()? as usize;
+        self.need(len)?;
+        let mut v = vec![0u8; len];
+        self.buf.copy_to_slice(&mut v);
+        Ok(v)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, CbError> {
+        let raw = self.bytes()?;
+        String::from_utf8(raw).map_err(|e| CbError::Codec(format!("invalid utf-8: {e}")))
+    }
+
+    /// Reads a cluster address.
+    pub fn addr(&mut self) -> Result<Addr, CbError> {
+        let node = self.u16()?;
+        let port = self.u16()?;
+        Ok(Addr::new(NodeId(node), Port(port)))
+    }
+
+    /// Reads a simulated timestamp.
+    pub fn micros(&mut self) -> Result<Micros, CbError> {
+        Ok(Micros(self.u64()?))
+    }
+
+    /// Reads one typed [`Value`].
+    pub fn value(&mut self) -> Result<Value, CbError> {
+        match self.u8()? {
+            0 => Ok(Value::Bool(self.u8()? != 0)),
+            1 => Ok(Value::U32(self.u32()?)),
+            2 => Ok(Value::F64(self.f64()?)),
+            3 => Ok(Value::Vec3([self.f64()?, self.f64()?, self.f64()?])),
+            4 => Ok(Value::Text(self.string()?)),
+            5 => Ok(Value::Bytes(self.bytes()?)),
+            tag => Err(CbError::Codec(format!("unknown value tag {tag}"))),
+        }
+    }
+
+    /// Reads an attribute-value map.
+    pub fn attribute_values(&mut self) -> Result<AttributeValues, CbError> {
+        let count = self.u16()? as usize;
+        let mut values = AttributeValues::new();
+        for _ in 0..count {
+            let id = AttributeId(self.u16()?);
+            let value = self.value()?;
+            values.insert(id, value);
+        }
+        Ok(values)
+    }
+}
+
+/// A writer that builds an encoded payload.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Writer {
+        Writer { buf: BytesMut::with_capacity(128) }
+    }
+
+    /// Finishes encoding and returns the payload.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf.to_vec()
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.put_u8(v);
+        self
+    }
+
+    /// Writes a big-endian `u16`.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.put_u16(v);
+        self
+    }
+
+    /// Writes a big-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.put_u32(v);
+        self
+    }
+
+    /// Writes a big-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.put_u64(v);
+        self
+    }
+
+    /// Writes a big-endian `f64`.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.buf.put_f64(v);
+        self
+    }
+
+    /// Writes a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.put_u32(v.len() as u32);
+        self.buf.put_slice(v);
+        self
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn string(&mut self, v: &str) -> &mut Self {
+        self.bytes(v.as_bytes())
+    }
+
+    /// Writes a cluster address.
+    pub fn addr(&mut self, a: Addr) -> &mut Self {
+        self.u16(a.node.0).u16(a.port.0)
+    }
+
+    /// Writes a simulated timestamp.
+    pub fn micros(&mut self, t: Micros) -> &mut Self {
+        self.u64(t.0)
+    }
+
+    /// Writes one typed [`Value`].
+    pub fn value(&mut self, v: &Value) -> &mut Self {
+        match v {
+            Value::Bool(b) => {
+                self.u8(0).u8(u8::from(*b));
+            }
+            Value::U32(x) => {
+                self.u8(1).u32(*x);
+            }
+            Value::F64(x) => {
+                self.u8(2).f64(*x);
+            }
+            Value::Vec3(x) => {
+                self.u8(3).f64(x[0]).f64(x[1]).f64(x[2]);
+            }
+            Value::Text(s) => {
+                self.u8(4).string(s);
+            }
+            Value::Bytes(b) => {
+                self.u8(5).bytes(b);
+            }
+        }
+        self
+    }
+
+    /// Writes an attribute-value map.
+    pub fn attribute_values(&mut self, values: &AttributeValues) -> &mut Self {
+        self.u16(values.len() as u16);
+        for (id, value) in values {
+            self.u16(id.0);
+            self.value(value);
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrip() {
+        let mut w = Writer::new();
+        w.u8(7).u16(300).u32(70_000).u64(1 << 40).f64(-2.5).string("crane").addr(Addr::new(
+            NodeId(3),
+            Port(9),
+        ));
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 300);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), 1 << 40);
+        assert_eq!(r.f64().unwrap(), -2.5);
+        assert_eq!(r.string().unwrap(), "crane");
+        assert_eq!(r.addr().unwrap(), Addr::new(NodeId(3), Port(9)));
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn value_roundtrip_all_variants() {
+        let values = vec![
+            Value::Bool(true),
+            Value::U32(42),
+            Value::F64(3.125),
+            Value::Vec3([1.0, -2.0, 0.5]),
+            Value::Text("lift the cargo".to_owned()),
+            Value::Bytes(vec![0, 1, 2, 255]),
+        ];
+        let mut w = Writer::new();
+        for v in &values {
+            w.value(v);
+        }
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        for v in &values {
+            assert_eq!(&r.value().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn attribute_values_roundtrip() {
+        let mut values = AttributeValues::new();
+        values.insert(AttributeId(0), Value::F64(1.25));
+        values.insert(AttributeId(3), Value::Vec3([0.0, 9.8, 0.0]));
+        values.insert(AttributeId(7), Value::Text("ok".into()));
+        let mut w = Writer::new();
+        w.attribute_values(&values);
+        let buf = w.finish();
+        let decoded = Reader::new(&buf).attribute_values().unwrap();
+        assert_eq!(decoded, values);
+    }
+
+    #[test]
+    fn truncated_message_is_a_codec_error() {
+        let mut w = Writer::new();
+        w.u64(99);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf[..4]);
+        assert!(matches!(r.u64(), Err(CbError::Codec(_))));
+    }
+
+    #[test]
+    fn unknown_value_tag_is_an_error() {
+        let buf = [200u8, 0, 0];
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.value(), Err(CbError::Codec(_))));
+    }
+
+    #[test]
+    fn invalid_utf8_is_an_error() {
+        let mut w = Writer::new();
+        w.bytes(&[0xff, 0xfe]);
+        let buf = w.finish();
+        assert!(matches!(Reader::new(&buf).string(), Err(CbError::Codec(_))));
+    }
+}

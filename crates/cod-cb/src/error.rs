@@ -1,0 +1,80 @@
+//! Error type for the Communication Backbone.
+
+use crate::fom::{InteractionClassId, ObjectClassId};
+use cod_net::NetError;
+use std::fmt;
+
+/// Errors produced by Communication Backbone services.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CbError {
+    /// The referenced logical process is not registered with this CB.
+    UnknownLp(u64),
+    /// The referenced object class does not exist in the FOM.
+    UnknownObjectClass(ObjectClassId),
+    /// The referenced interaction class does not exist in the FOM.
+    UnknownInteractionClass(InteractionClassId),
+    /// The referenced object instance is not registered.
+    UnknownObject(u64),
+    /// The LP tried to update an object of a class it does not publish.
+    NotPublished {
+        /// The offending class.
+        class: ObjectClassId,
+    },
+    /// A class or attribute name was registered twice in the FOM.
+    DuplicateName(String),
+    /// A wire message could not be decoded.
+    Codec(String),
+    /// The underlying transport failed.
+    Net(NetError),
+}
+
+impl fmt::Display for CbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CbError::UnknownLp(id) => write!(f, "unknown logical process {id}"),
+            CbError::UnknownObjectClass(c) => write!(f, "unknown object class {}", c.0),
+            CbError::UnknownInteractionClass(c) => write!(f, "unknown interaction class {}", c.0),
+            CbError::UnknownObject(o) => write!(f, "unknown object instance {o}"),
+            CbError::NotPublished { class } => {
+                write!(f, "object class {} is not published by this logical process", class.0)
+            }
+            CbError::DuplicateName(n) => write!(f, "duplicate name in federation object model: {n}"),
+            CbError::Codec(msg) => write!(f, "wire message decode failed: {msg}"),
+            CbError::Net(e) => write!(f, "network transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CbError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetError> for CbError {
+    fn from(e: NetError) -> Self {
+        CbError::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_well_behaved() {
+        fn assert_traits<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<CbError>();
+    }
+
+    #[test]
+    fn net_error_is_wrapped_with_source() {
+        let e = CbError::from(NetError::Disconnected);
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("transport"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Conservative time management in the style of Chandy & Misra.
+//!
+//! The paper references the asynchronous distributed-simulation scheme of
+//! Chandy & Misra (CACM 1981) as the basis for running the COD without a
+//! central coordinator. This module provides the two halves of that scheme:
+//!
+//! * [`LookaheadClock`] — used by a *producing* LP: given its own simulation
+//!   time and a declared lookahead, it yields the lower bound it may promise
+//!   downstream (carried by `NullMessage` wire messages when no real update is
+//!   available).
+//! * [`TimeManager`] — used by a *consuming* LP: tracks the per-channel time
+//!   bounds learned from data and null messages and computes the lower bound on
+//!   incoming timestamps (LBTS), i.e. how far the consumer may safely advance
+//!   without risking a causality violation.
+
+use crate::channel::ChannelId;
+use cod_net::Micros;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Producer-side clock with lookahead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LookaheadClock {
+    local_time: Micros,
+    lookahead: Micros,
+}
+
+impl LookaheadClock {
+    /// Creates a clock at time zero with the given lookahead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lookahead` is zero: a zero lookahead deadlocks the
+    /// Chandy–Misra scheme.
+    pub fn new(lookahead: Micros) -> LookaheadClock {
+        assert!(lookahead > Micros::ZERO, "lookahead must be positive");
+        LookaheadClock { local_time: Micros::ZERO, lookahead }
+    }
+
+    /// Advances the producer's local simulation time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if time would move backwards.
+    pub fn advance_to(&mut self, t: Micros) {
+        assert!(t >= self.local_time, "local time cannot run backwards");
+        self.local_time = t;
+    }
+
+    /// The producer's current local time.
+    pub fn local_time(&self) -> Micros {
+        self.local_time
+    }
+
+    /// The declared lookahead.
+    pub fn lookahead(&self) -> Micros {
+        self.lookahead
+    }
+
+    /// The guarantee the producer may promise downstream: no future message
+    /// will carry a timestamp earlier than this.
+    pub fn guarantee(&self) -> Micros {
+        self.local_time + self.lookahead
+    }
+}
+
+/// Consumer-side tracking of channel time bounds.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeManager {
+    bounds: BTreeMap<ChannelId, Micros>,
+    granted: Micros,
+}
+
+impl TimeManager {
+    /// Creates a manager with no input channels.
+    pub fn new() -> TimeManager {
+        TimeManager::default()
+    }
+
+    /// Registers an input channel. Until a bound is learned the channel
+    /// contributes a bound of zero, blocking advancement.
+    pub fn add_channel(&mut self, channel: ChannelId) {
+        self.bounds.entry(channel).or_insert(Micros::ZERO);
+    }
+
+    /// Removes an input channel (e.g. after a publisher withdrew).
+    pub fn remove_channel(&mut self, channel: ChannelId) {
+        self.bounds.remove(&channel);
+    }
+
+    /// Records a time bound learned from a data or null message on `channel`.
+    /// Bounds never regress.
+    pub fn observe(&mut self, channel: ChannelId, bound: Micros) {
+        let entry = self.bounds.entry(channel).or_insert(Micros::ZERO);
+        if bound > *entry {
+            *entry = bound;
+        }
+    }
+
+    /// Number of tracked input channels.
+    pub fn channel_count(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Lower Bound on incoming Time Stamps: the earliest timestamp any future
+    /// message could still carry. With no input channels the consumer is
+    /// unconstrained and may advance freely.
+    pub fn lbts(&self) -> Option<Micros> {
+        self.bounds.values().copied().min()
+    }
+
+    /// Whether the consumer may safely advance its simulation time to `t`.
+    pub fn can_advance_to(&self, t: Micros) -> bool {
+        match self.lbts() {
+            None => true,
+            Some(lbts) => t <= lbts,
+        }
+    }
+
+    /// Requests advancement to `t`; returns the time actually granted (the
+    /// minimum of `t` and the LBTS). The grant is monotone.
+    pub fn request_advance(&mut self, t: Micros) -> Micros {
+        let granted = match self.lbts() {
+            None => t,
+            Some(lbts) => if t <= lbts { t } else { lbts },
+        };
+        if granted > self.granted {
+            self.granted = granted;
+        }
+        self.granted
+    }
+
+    /// The largest time granted so far.
+    pub fn granted(&self) -> Micros {
+        self.granted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lookahead_guarantee() {
+        let mut clock = LookaheadClock::new(Micros::from_millis(10));
+        assert_eq!(clock.guarantee(), Micros::from_millis(10));
+        clock.advance_to(Micros::from_millis(100));
+        assert_eq!(clock.guarantee(), Micros::from_millis(110));
+        assert_eq!(clock.local_time(), Micros::from_millis(100));
+        assert_eq!(clock.lookahead(), Micros::from_millis(10));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_lookahead_rejected() {
+        let _ = LookaheadClock::new(Micros::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn clock_cannot_go_backwards() {
+        let mut clock = LookaheadClock::new(Micros(1));
+        clock.advance_to(Micros(10));
+        clock.advance_to(Micros(5));
+    }
+
+    #[test]
+    fn lbts_is_minimum_over_channels() {
+        let mut tm = TimeManager::new();
+        assert_eq!(tm.lbts(), None);
+        assert!(tm.can_advance_to(Micros::from_secs(100)));
+
+        tm.add_channel(ChannelId(1));
+        tm.add_channel(ChannelId(2));
+        assert_eq!(tm.lbts(), Some(Micros::ZERO));
+        assert!(!tm.can_advance_to(Micros(1)));
+
+        tm.observe(ChannelId(1), Micros(500));
+        tm.observe(ChannelId(2), Micros(300));
+        assert_eq!(tm.lbts(), Some(Micros(300)));
+        assert!(tm.can_advance_to(Micros(300)));
+        assert!(!tm.can_advance_to(Micros(301)));
+
+        // Bounds never regress.
+        tm.observe(ChannelId(2), Micros(100));
+        assert_eq!(tm.lbts(), Some(Micros(300)));
+
+        tm.remove_channel(ChannelId(2));
+        assert_eq!(tm.lbts(), Some(Micros(500)));
+        assert_eq!(tm.channel_count(), 1);
+    }
+
+    #[test]
+    fn request_advance_is_clamped_and_monotone() {
+        let mut tm = TimeManager::new();
+        tm.add_channel(ChannelId(1));
+        tm.observe(ChannelId(1), Micros(200));
+        assert_eq!(tm.request_advance(Micros(150)), Micros(150));
+        assert_eq!(tm.request_advance(Micros(1_000)), Micros(200));
+        // Even if a later request asks for less, the grant does not regress.
+        assert_eq!(tm.request_advance(Micros(50)), Micros(200));
+        assert_eq!(tm.granted(), Micros(200));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_granted_time_never_exceeds_lbts(bounds in proptest::collection::vec(0u64..1_000_000, 1..8),
+                                                request in 0u64..2_000_000) {
+            let mut tm = TimeManager::new();
+            for (i, b) in bounds.iter().enumerate() {
+                tm.add_channel(ChannelId(i as u64));
+                tm.observe(ChannelId(i as u64), Micros(*b));
+            }
+            let granted = tm.request_advance(Micros(request));
+            prop_assert!(granted <= tm.lbts().unwrap().max(Micros(request)));
+            prop_assert!(granted.0 <= request.max(*bounds.iter().min().unwrap()));
+            // Safety: the grant never exceeds the minimum channel bound unless
+            // the request itself was below it.
+            prop_assert!(granted.0 <= (*bounds.iter().min().unwrap()).max(request.min(*bounds.iter().min().unwrap())) || granted.0 <= request);
+        }
+    }
+}

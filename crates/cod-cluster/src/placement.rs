@@ -1,0 +1,165 @@
+//! Load-based placement of Logical Processes onto computers.
+//!
+//! "One or many LPs can run on a computer, depending upon the computational
+//! load of each LP" (paper §2.1). This module provides the classic
+//! longest-processing-time-first heuristic for packing module loads onto a
+//! given number of desktop PCs, which the cluster-speedup experiment (E6) uses
+//! to decide how many computers a configuration really needs.
+
+use cod_net::Micros;
+use serde::{Deserialize, Serialize};
+
+/// The modeled per-frame CPU load of one Logical Process.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LpLoad {
+    /// Module name.
+    pub name: String,
+    /// Modeled CPU cost per frame on the reference desktop PC.
+    pub cost: Micros,
+}
+
+impl LpLoad {
+    /// Convenience constructor.
+    pub fn new(name: &str, cost: Micros) -> LpLoad {
+        LpLoad { name: name.to_owned(), cost }
+    }
+}
+
+/// The result of packing LP loads onto computers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// For each computer, the indices (into the input load list) of the LPs placed on it.
+    pub assignments: Vec<Vec<usize>>,
+    /// Per-computer total load.
+    pub loads: Vec<Micros>,
+    /// The largest per-computer load — the frame-period limiter of the cluster.
+    pub makespan: Micros,
+}
+
+impl Placement {
+    /// The frame rate the placement can sustain, additionally bounded by `frame_period`.
+    pub fn achievable_fps(&self, frame_period: Micros) -> f64 {
+        let limiter = self.makespan.max(frame_period);
+        if limiter == Micros::ZERO {
+            0.0
+        } else {
+            1.0 / limiter.as_secs_f64()
+        }
+    }
+}
+
+/// Packs `loads` onto `computers` machines using the longest-processing-time
+/// heuristic: sort by decreasing cost, always place on the least-loaded machine.
+///
+/// # Panics
+///
+/// Panics if `computers` is zero.
+pub fn balance_load(loads: &[LpLoad], computers: usize) -> Placement {
+    assert!(computers > 0, "at least one computer is required");
+    let mut order: Vec<usize> = (0..loads.len()).collect();
+    order.sort_by(|a, b| loads[*b].cost.cmp(&loads[*a].cost).then(a.cmp(b)));
+
+    let mut assignments = vec![Vec::new(); computers];
+    let mut totals = vec![Micros::ZERO; computers];
+    for lp_index in order {
+        let target = totals
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, t)| (**t, *i))
+            .map(|(i, _)| i)
+            .expect("at least one computer");
+        assignments[target].push(lp_index);
+        totals[target] += loads[lp_index].cost;
+    }
+    let makespan = totals.iter().copied().max().unwrap_or(Micros::ZERO);
+    Placement { assignments, loads: totals, makespan }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn crane_loads() -> Vec<LpLoad> {
+        vec![
+            LpLoad::new("visual-left", Micros::from_millis(45)),
+            LpLoad::new("visual-center", Micros::from_millis(45)),
+            LpLoad::new("visual-right", Micros::from_millis(45)),
+            LpLoad::new("dynamics", Micros::from_millis(18)),
+            LpLoad::new("scenario", Micros::from_millis(4)),
+            LpLoad::new("dashboard", Micros::from_millis(2)),
+            LpLoad::new("motion-platform", Micros::from_millis(6)),
+            LpLoad::new("instructor", Micros::from_millis(3)),
+            LpLoad::new("audio", Micros::from_millis(3)),
+            LpLoad::new("sync-server", Micros::from_millis(1)),
+        ]
+    }
+
+    #[test]
+    fn single_computer_gets_everything() {
+        let loads = crane_loads();
+        let p = balance_load(&loads, 1);
+        assert_eq!(p.assignments[0].len(), loads.len());
+        let total: u64 = loads.iter().map(|l| l.cost.0).sum();
+        assert_eq!(p.makespan, Micros(total));
+    }
+
+    #[test]
+    fn eight_computers_are_limited_by_the_heaviest_module() {
+        let loads = crane_loads();
+        let p = balance_load(&loads, 8);
+        // No computer can be better than the single heaviest module (45 ms display).
+        assert_eq!(p.makespan, Micros::from_millis(45));
+        assert_eq!(p.assignments.iter().map(Vec::len).sum::<usize>(), loads.len());
+    }
+
+    #[test]
+    fn more_computers_never_hurt() {
+        let loads = crane_loads();
+        let mut previous = balance_load(&loads, 1).makespan;
+        for n in 2..10 {
+            let makespan = balance_load(&loads, n).makespan;
+            assert!(makespan <= previous, "makespan increased at {n} computers");
+            previous = makespan;
+        }
+    }
+
+    #[test]
+    fn achievable_fps_uses_makespan() {
+        let p = balance_load(&crane_loads(), 8);
+        let fps = p.achievable_fps(Micros::from_millis(10));
+        assert!((fps - 1.0 / 0.045).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_computers_rejected() {
+        let _ = balance_load(&crane_loads(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_every_lp_is_placed_exactly_once(costs in proptest::collection::vec(0u64..100_000, 1..30),
+                                                computers in 1usize..12) {
+            let loads: Vec<LpLoad> = costs
+                .iter()
+                .enumerate()
+                .map(|(i, c)| LpLoad::new(&format!("lp{i}"), Micros(*c)))
+                .collect();
+            let p = balance_load(&loads, computers);
+            let mut seen = vec![false; loads.len()];
+            for group in &p.assignments {
+                for &i in group {
+                    prop_assert!(!seen[i], "lp placed twice");
+                    seen[i] = true;
+                }
+            }
+            prop_assert!(seen.into_iter().all(|s| s));
+            // Makespan can never be smaller than the ideal average or the largest item.
+            let total: u64 = costs.iter().sum();
+            let max = costs.iter().copied().max().unwrap_or(0);
+            prop_assert!(p.makespan.0 >= max);
+            prop_assert!(p.makespan.0 as f64 >= total as f64 / computers as f64 - 1.0);
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! Deterministic discrete-event simulation of the cluster LAN.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::addr::{Addr, NodeId, Port};
+use crate::datagram::{Datagram, Destination};
+use crate::error::NetError;
+use crate::link::LanConfig;
+use crate::stats::LanStats;
+use crate::time::{Micros, SimClock};
+use crate::transport::Transport;
+
+/// Default service port assigned to endpoints created with [`SimLan::attach`].
+pub const DEFAULT_PORT: Port = Port(1);
+
+/// A LAN shared between transports; clone the `Arc` freely.
+pub type SharedLan = Arc<Mutex<SimLan>>;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ScheduledDelivery {
+    at: Micros,
+    seq: u64,
+    to: Addr,
+    dgram: Datagram,
+}
+
+impl Ord for ScheduledDelivery {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for ScheduledDelivery {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic discrete-event model of the cluster's local area network.
+///
+/// Datagrams sent through attached [`SimTransport`]s are scheduled for delivery
+/// according to the configured [`LanConfig`] (latency, jitter, serialization
+/// delay, loss) and appear in receiver inboxes once the LAN clock is advanced
+/// past their delivery time.
+#[derive(Debug)]
+pub struct SimLan {
+    config: LanConfig,
+    clock: SimClock,
+    rng: StdRng,
+    next_seq: u64,
+    next_node: u16,
+    queue: BinaryHeap<Reverse<ScheduledDelivery>>,
+    inboxes: BTreeMap<Addr, VecDeque<Datagram>>,
+    node_names: BTreeMap<NodeId, String>,
+    stats: LanStats,
+}
+
+impl SimLan {
+    /// Creates a LAN with the given configuration.
+    pub fn new(config: LanConfig) -> SimLan {
+        SimLan {
+            config,
+            clock: SimClock::new(),
+            rng: StdRng::seed_from_u64(config.seed),
+            next_seq: 0,
+            next_node: 0,
+            queue: BinaryHeap::new(),
+            inboxes: BTreeMap::new(),
+            node_names: BTreeMap::new(),
+            stats: LanStats::default(),
+        }
+    }
+
+    /// Creates a LAN wrapped for sharing between transports.
+    pub fn shared(config: LanConfig) -> SharedLan {
+        Arc::new(Mutex::new(SimLan::new(config)))
+    }
+
+    /// Attaches a new computer (node) to the LAN and returns a transport bound
+    /// to its default CB port.
+    pub fn attach(lan: &SharedLan, name: &str) -> SimTransport {
+        let addr = {
+            let mut l = lan.lock();
+            let node = NodeId(l.next_node);
+            l.next_node += 1;
+            l.node_names.insert(node, name.to_owned());
+            let addr = Addr::new(node, DEFAULT_PORT);
+            l.inboxes.insert(addr, VecDeque::new());
+            addr
+        };
+        SimTransport { lan: Arc::clone(lan), addr }
+    }
+
+    /// Attaches an additional endpoint (port) on an existing node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoint already exists.
+    pub fn attach_port(lan: &SharedLan, node: NodeId, port: Port) -> SimTransport {
+        let addr = Addr::new(node, port);
+        {
+            let mut l = lan.lock();
+            assert!(
+                !l.inboxes.contains_key(&addr),
+                "endpoint {addr} already attached"
+            );
+            l.inboxes.insert(addr, VecDeque::new());
+        }
+        SimTransport { lan: Arc::clone(lan), addr }
+    }
+
+    /// Advances the LAN clock by `dt`, performing any deliveries that fall due.
+    pub fn advance(lan: &SharedLan, dt: Micros) {
+        let mut l = lan.lock();
+        let target = l.clock.now() + dt;
+        l.advance_to_inner(target);
+    }
+
+    /// Advances the LAN clock to the absolute time `t`.
+    pub fn advance_to(lan: &SharedLan, t: Micros) {
+        lan.lock().advance_to_inner(t);
+    }
+
+    /// Runs the LAN until no scheduled deliveries remain, returning the final time.
+    pub fn run_until_idle(lan: &SharedLan) -> Micros {
+        let mut l = lan.lock();
+        while let Some(Reverse(next)) = l.queue.peek().cloned() {
+            l.advance_to_inner(next.at);
+        }
+        l.clock.now()
+    }
+
+    /// Current LAN time.
+    pub fn now(lan: &SharedLan) -> Micros {
+        lan.lock().clock.now()
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn stats(lan: &SharedLan) -> LanStats {
+        lan.lock().stats.clone()
+    }
+
+    /// Human-readable name of a node, if any.
+    pub fn node_name(lan: &SharedLan, node: NodeId) -> Option<String> {
+        lan.lock().node_names.get(&node).cloned()
+    }
+
+    /// Number of endpoints attached to the LAN.
+    pub fn endpoint_count(lan: &SharedLan) -> usize {
+        lan.lock().inboxes.len()
+    }
+
+    fn advance_to_inner(&mut self, t: Micros) {
+        while let Some(Reverse(next)) = self.queue.peek() {
+            if next.at > t {
+                break;
+            }
+            let Reverse(delivery) = self.queue.pop().expect("peeked entry present");
+            let mut dgram = delivery.dgram;
+            dgram.delivered_at = delivery.at;
+            let bytes = dgram.payload.len();
+            if let Some(inbox) = self.inboxes.get_mut(&delivery.to) {
+                inbox.push_back(dgram);
+                self.stats.record_delivery(delivery.to.node, bytes);
+            }
+        }
+        self.clock.advance_to(t);
+    }
+
+    fn send_from(&mut self, src: Addr, dst: Destination, payload: &[u8]) -> Result<(), NetError> {
+        if payload.len() > self.config.mtu {
+            return Err(NetError::PayloadTooLarge { size: payload.len(), max: self.config.mtu });
+        }
+        let payload = Bytes::copy_from_slice(payload);
+        let targets: Vec<Addr> = match dst {
+            Destination::Unicast(addr) => {
+                if !self.inboxes.contains_key(&addr) {
+                    return Err(NetError::UnknownEndpoint(addr));
+                }
+                vec![addr]
+            }
+            Destination::Broadcast(port) => self
+                .inboxes
+                .keys()
+                .copied()
+                .filter(|a| a.port == port && *a != src)
+                .collect(),
+        };
+        self.stats.record_send(src.node, payload.len());
+        let now = self.clock.now();
+        for to in targets {
+            let dgram = Datagram { src, dst, payload: payload.clone(), delivered_at: Micros::ZERO };
+            if self.config.link.sample_loss(&mut self.rng) {
+                self.stats.record_drop();
+                continue;
+            }
+            let delay = self.config.link.sample_delay(&dgram, &mut self.rng);
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.queue.push(Reverse(ScheduledDelivery { at: now + delay, seq, to, dgram }));
+        }
+        Ok(())
+    }
+
+    fn poll_endpoint(&mut self, addr: Addr) -> Result<Vec<Datagram>, NetError> {
+        match self.inboxes.get_mut(&addr) {
+            None => Err(NetError::UnknownEndpoint(addr)),
+            Some(inbox) => Ok(inbox.drain(..).collect()),
+        }
+    }
+}
+
+/// A transport endpoint attached to a [`SimLan`].
+#[derive(Debug, Clone)]
+pub struct SimTransport {
+    lan: SharedLan,
+    addr: Addr,
+}
+
+impl SimTransport {
+    /// The shared LAN this transport is attached to.
+    pub fn lan(&self) -> &SharedLan {
+        &self.lan
+    }
+}
+
+impl Transport for SimTransport {
+    fn send(&mut self, dst: Destination, payload: &[u8]) -> Result<(), NetError> {
+        self.lan.lock().send_from(self.addr, dst, payload)
+    }
+
+    fn poll(&mut self) -> Result<Vec<Datagram>, NetError> {
+        self.lan.lock().poll_endpoint(self.addr)
+    }
+
+    fn local_addr(&self) -> Addr {
+        self.addr
+    }
+
+    fn mtu(&self) -> usize {
+        self.lan.lock().config.mtu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lan_pair(config: LanConfig) -> (SharedLan, SimTransport, SimTransport) {
+        let lan = SimLan::shared(config);
+        let a = SimLan::attach(&lan, "a");
+        let b = SimLan::attach(&lan, "b");
+        (lan, a, b)
+    }
+
+    #[test]
+    fn unicast_delivery_after_advance() {
+        let (lan, mut a, mut b) = lan_pair(LanConfig::fast_ethernet(1));
+        a.send(Destination::Unicast(b.local_addr()), b"ping").unwrap();
+        assert!(b.poll().unwrap().is_empty(), "nothing delivered before time advances");
+        SimLan::advance(&lan, Micros::from_millis(5));
+        let got = b.poll().unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(&got[0].payload[..], b"ping");
+        assert_eq!(got[0].src, a.local_addr());
+    }
+
+    #[test]
+    fn broadcast_excludes_sender() {
+        let lan = SimLan::shared(LanConfig::fast_ethernet(3));
+        let mut a = SimLan::attach(&lan, "a");
+        let mut b = SimLan::attach(&lan, "b");
+        let mut c = SimLan::attach(&lan, "c");
+        a.send(Destination::Broadcast(DEFAULT_PORT), b"hello").unwrap();
+        SimLan::run_until_idle(&lan);
+        assert_eq!(a.poll().unwrap().len(), 0);
+        assert_eq!(b.poll().unwrap().len(), 1);
+        assert_eq!(c.poll().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn unknown_unicast_destination_is_an_error() {
+        let (_lan, mut a, _b) = lan_pair(LanConfig::fast_ethernet(1));
+        let bogus = Addr::new(NodeId(77), Port(9));
+        let err = a.send(Destination::Unicast(bogus), b"x").unwrap_err();
+        assert!(matches!(err, NetError::UnknownEndpoint(_)));
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let (_lan, mut a, b) = lan_pair(LanConfig::fast_ethernet(1));
+        let big = vec![0u8; 70_000];
+        let err = a.send(Destination::Unicast(b.local_addr()), &big).unwrap_err();
+        assert!(matches!(err, NetError::PayloadTooLarge { .. }));
+    }
+
+    #[test]
+    fn delivery_order_preserved_for_same_path() {
+        // With zero jitter the FIFO order of equal-size datagrams must hold.
+        let config = LanConfig { link: crate::link::LinkModel { jitter_us: 0, ..crate::link::LinkModel::fast_ethernet() }, seed: 5, mtu: 65_507 };
+        let (lan, mut a, mut b) = lan_pair(config);
+        for i in 0u8..10 {
+            a.send(Destination::Unicast(b.local_addr()), &[i]).unwrap();
+        }
+        SimLan::run_until_idle(&lan);
+        let got = b.poll().unwrap();
+        let order: Vec<u8> = got.iter().map(|d| d.payload[0]).collect();
+        assert_eq!(order, (0..10).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn deterministic_given_same_seed() {
+        let run = |seed| {
+            let (lan, mut a, mut b) = lan_pair(LanConfig::fast_ethernet(seed));
+            for i in 0u8..50 {
+                a.send(Destination::Unicast(b.local_addr()), &[i]).unwrap();
+            }
+            SimLan::run_until_idle(&lan);
+            b.poll()
+                .unwrap()
+                .iter()
+                .map(|d| (d.delivered_at, d.payload[0]))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn lossy_lan_drops_some_datagrams() {
+        let config = LanConfig::fast_ethernet(11).with_loss(0.5);
+        let (lan, mut a, mut b) = lan_pair(config);
+        for _ in 0..200 {
+            a.send(Destination::Unicast(b.local_addr()), b"d").unwrap();
+        }
+        SimLan::run_until_idle(&lan);
+        let delivered = b.poll().unwrap().len();
+        assert!(delivered < 160 && delivered > 40, "delivered = {delivered}");
+        let stats = SimLan::stats(&lan);
+        assert_eq!(stats.datagrams_dropped + delivered as u64, 200);
+    }
+
+    #[test]
+    fn stats_track_bytes() {
+        let (lan, mut a, mut b) = lan_pair(LanConfig::fast_ethernet(1));
+        a.send(Destination::Unicast(b.local_addr()), &[0u8; 128]).unwrap();
+        SimLan::run_until_idle(&lan);
+        b.poll().unwrap();
+        let stats = SimLan::stats(&lan);
+        assert_eq!(stats.bytes_sent, 128);
+        assert_eq!(stats.per_node[&b.local_addr().node].bytes_received, 128);
+    }
+
+    #[test]
+    fn attach_port_creates_second_endpoint_on_same_node() {
+        let lan = SimLan::shared(LanConfig::fast_ethernet(1));
+        let a = SimLan::attach(&lan, "a");
+        let mut extra = SimLan::attach_port(&lan, a.local_addr().node, Port(9));
+        let mut b = SimLan::attach(&lan, "b");
+        b.send(Destination::Unicast(extra.local_addr()), b"to-port-9").unwrap();
+        SimLan::run_until_idle(&lan);
+        assert_eq!(extra.poll().unwrap().len(), 1);
+        assert_eq!(SimLan::endpoint_count(&lan), 3);
+    }
+
+    #[test]
+    fn node_names_are_recorded() {
+        let lan = SimLan::shared(LanConfig::fast_ethernet(1));
+        let a = SimLan::attach(&lan, "display-left");
+        assert_eq!(SimLan::node_name(&lan, a.local_addr().node).unwrap(), "display-left");
+    }
+}

@@ -1,0 +1,92 @@
+//! Traffic counters for the simulated LAN.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::addr::NodeId;
+
+/// Per-node traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// Datagrams sent by the node.
+    pub datagrams_sent: u64,
+    /// Datagrams delivered to the node.
+    pub datagrams_received: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Payload bytes received.
+    pub bytes_received: u64,
+}
+
+/// Whole-LAN traffic counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LanStats {
+    /// Datagrams accepted by the LAN for delivery.
+    pub datagrams_sent: u64,
+    /// Datagram deliveries performed (a broadcast counts once per receiver).
+    pub deliveries: u64,
+    /// Datagrams dropped by the loss model.
+    pub datagrams_dropped: u64,
+    /// Total payload bytes accepted.
+    pub bytes_sent: u64,
+    /// Per-node breakdown.
+    pub per_node: BTreeMap<NodeId, NodeStats>,
+}
+
+impl LanStats {
+    /// Records a send of `bytes` payload bytes from `src`.
+    pub fn record_send(&mut self, src: NodeId, bytes: usize) {
+        self.datagrams_sent += 1;
+        self.bytes_sent += bytes as u64;
+        let n = self.per_node.entry(src).or_default();
+        n.datagrams_sent += 1;
+        n.bytes_sent += bytes as u64;
+    }
+
+    /// Records a delivery of `bytes` payload bytes to `dst`.
+    pub fn record_delivery(&mut self, dst: NodeId, bytes: usize) {
+        self.deliveries += 1;
+        let n = self.per_node.entry(dst).or_default();
+        n.datagrams_received += 1;
+        n.bytes_received += bytes as u64;
+    }
+
+    /// Records a datagram dropped by the loss model.
+    pub fn record_drop(&mut self) {
+        self.datagrams_dropped += 1;
+    }
+
+    /// Fraction of accepted datagram deliveries that were dropped, in `[0, 1]`.
+    pub fn drop_ratio(&self) -> f64 {
+        let attempted = self.deliveries + self.datagrams_dropped;
+        if attempted == 0 {
+            0.0
+        } else {
+            self.datagrams_dropped as f64 / attempted as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = LanStats::default();
+        s.record_send(NodeId(1), 100);
+        s.record_send(NodeId(1), 50);
+        s.record_delivery(NodeId(2), 100);
+        s.record_drop();
+        assert_eq!(s.datagrams_sent, 2);
+        assert_eq!(s.bytes_sent, 150);
+        assert_eq!(s.per_node[&NodeId(1)].datagrams_sent, 2);
+        assert_eq!(s.per_node[&NodeId(2)].bytes_received, 100);
+        assert!((s.drop_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drop_ratio_handles_empty() {
+        assert_eq!(LanStats::default().drop_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Simulator configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Which graphics-hardware generation the cost model emulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GpuGeneration {
+    /// The TNT2-class cards of the original rack (paper §4).
+    Tnt2,
+    /// A card of a couple of years later (the "further acceleration" ablation).
+    NextGeneration,
+}
+
+/// Which operator model drives the session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OperatorKind {
+    /// A competent trainee following the licensing-exam course.
+    Exam,
+    /// Nobody at the controls (useful for frame-rate measurements).
+    Idle,
+    /// A careless trainee: drives fast and swings the boom violently.
+    Reckless,
+}
+
+/// Configuration of a simulator session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimulatorConfig {
+    /// Number of surround-view display channels (the paper used three).
+    pub display_channels: usize,
+    /// Horizontal resolution of each channel (pixels).
+    pub display_width: usize,
+    /// Vertical resolution of each channel (pixels).
+    pub display_height: usize,
+    /// Whether the software rasterizer actually shades pixels every frame
+    /// (needed for screenshots; the cost model alone suffices for benchmarks).
+    pub render_pixels: bool,
+    /// Graphics hardware generation for the cost model.
+    pub gpu: GpuGeneration,
+    /// Operator model at the controls.
+    pub operator: OperatorKind,
+    /// Mass of the exam cargo in kilograms.
+    pub cargo_mass_kg: f64,
+    /// Target frame rate of the cluster executive in frames per second.
+    pub target_fps: f64,
+    /// Number of frames to run when [`crate::CraneSimulator::run`] is called.
+    pub exam_frames: usize,
+    /// Seed for every stochastic model in the session.
+    pub seed: u64,
+}
+
+impl Default for SimulatorConfig {
+    fn default() -> Self {
+        SimulatorConfig {
+            display_channels: 3,
+            display_width: 640,
+            display_height: 480,
+            render_pixels: false,
+            gpu: GpuGeneration::Tnt2,
+            operator: OperatorKind::Exam,
+            cargo_mass_kg: 1_500.0,
+            target_fps: 16.0,
+            exam_frames: 2_000,
+            seed: 0x0C0D_CAFE,
+        }
+    }
+}
+
+impl SimulatorConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.display_channels == 0 {
+            return Err("at least one display channel is required".to_owned());
+        }
+        if self.display_width == 0 || self.display_height == 0 {
+            return Err("display resolution must be positive".to_owned());
+        }
+        if !(self.target_fps > 0.0) {
+            return Err("target frame rate must be positive".to_owned());
+        }
+        if self.cargo_mass_kg < 0.0 {
+            return Err("cargo mass cannot be negative".to_owned());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_matches_the_paper_setup() {
+        let c = SimulatorConfig::default();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.display_channels, 3);
+        assert_eq!(c.target_fps, 16.0);
+        assert_eq!(c.gpu, GpuGeneration::Tnt2);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(SimulatorConfig { display_channels: 0, ..Default::default() }.validate().is_err());
+        assert!(SimulatorConfig { target_fps: 0.0, ..Default::default() }.validate().is_err());
+        assert!(SimulatorConfig { cargo_mass_kg: -1.0, ..Default::default() }.validate().is_err());
+        assert!(SimulatorConfig { display_width: 0, ..Default::default() }.validate().is_err());
+    }
+}

@@ -1,0 +1,535 @@
+//! The federation object model of the crane simulator.
+//!
+//! Every module exchanges state through the object and interaction classes
+//! declared here, mirroring how the original system routed "event messages"
+//! between its seven modules over the Communication Backbone.
+
+use cod_cb::{AttributeValues, CbError, ClassRegistry, InteractionClassId, ObjectClassId, Value};
+use cod_cluster::FrameSyncFom;
+use serde::{Deserialize, Serialize};
+use sim_math::Vec3;
+
+/// Handles to every class the crane simulator declares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CraneFom {
+    /// Crane chassis + superstructure state published by the dynamics module.
+    pub crane_state: ObjectClassId,
+    /// Hook / cargo state published by the dynamics module.
+    pub hook_state: ObjectClassId,
+    /// Operator inputs published by the dashboard module.
+    pub operator_input: ObjectClassId,
+    /// Scenario phase and score published by the scenario module.
+    pub scenario_state: ObjectClassId,
+    /// Collision events sent by the dynamics module.
+    pub collision: InteractionClassId,
+    /// Alarm events sent by the instructor monitor.
+    pub alarm: InteractionClassId,
+    /// Instrument fault injections sent by the instructor monitor (Figure 6:
+    /// "the instrument display may be used for trouble shooting training").
+    pub fault: InteractionClassId,
+    /// Frame-synchronization interactions of the surround view.
+    pub sync: FrameSyncFom,
+}
+
+impl CraneFom {
+    /// Declares every class in `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any class name is already taken.
+    pub fn register(registry: &mut ClassRegistry) -> Result<CraneFom, CbError> {
+        let crane_state = registry.register_object_class(
+            "CraneState",
+            &[
+                "chassis_position",
+                "chassis_yaw",
+                "chassis_pitch",
+                "chassis_roll",
+                "speed",
+                "engine_intensity",
+                "slew_angle",
+                "luff_angle",
+                "boom_length",
+                "cable_length",
+                "boom_tip",
+                "radius_utilization",
+                "moment_utilization",
+            ],
+        )?;
+        let hook_state = registry.register_object_class(
+            "HookState",
+            &["hook_position", "cargo_position", "swing_angle", "cargo_attached", "cargo_mass"],
+        )?;
+        let operator_input = registry.register_object_class(
+            "OperatorInput",
+            &["steering", "throttle", "brake", "reverse", "slew", "luff", "telescope", "hoist"],
+        )?;
+        let scenario_state = registry.register_object_class(
+            "ScenarioState",
+            &["phase", "score", "elapsed", "complete", "passed", "bar_hits"],
+        )?;
+        let collision = registry
+            .register_interaction_class("CollisionEvent", &["location", "impulse", "obstacle", "scored"])?;
+        let alarm = registry.register_interaction_class("AlarmEvent", &["code", "active", "message"])?;
+        let fault = registry.register_interaction_class("FaultInjection", &["instrument", "value"])?;
+        let sync = FrameSyncFom::register(registry)?;
+        Ok(CraneFom {
+            crane_state,
+            hook_state,
+            operator_input,
+            scenario_state,
+            collision,
+            alarm,
+            fault,
+            sync,
+        })
+    }
+
+    /// Builds the standard registry plus handles in one call.
+    pub fn standard() -> (ClassRegistry, CraneFom) {
+        let mut registry = ClassRegistry::new();
+        let fom = CraneFom::register(&mut registry).expect("fresh registry has no name clashes");
+        (registry, fom)
+    }
+}
+
+fn put(
+    registry: &ClassRegistry,
+    class: ObjectClassId,
+    values: &mut AttributeValues,
+    name: &str,
+    value: Value,
+) {
+    let id = registry.attribute_id(class, name).unwrap_or_else(|| panic!("attribute {name} declared"));
+    values.insert(id, value);
+}
+
+fn put_param(
+    registry: &ClassRegistry,
+    class: InteractionClassId,
+    values: &mut AttributeValues,
+    name: &str,
+    value: Value,
+) {
+    let id = registry.parameter_id(class, name).unwrap_or_else(|| panic!("parameter {name} declared"));
+    values.insert(id, value);
+}
+
+fn get(
+    registry: &ClassRegistry,
+    class: ObjectClassId,
+    values: &AttributeValues,
+    name: &str,
+) -> Option<Value> {
+    registry.attribute_id(class, name).and_then(|id| values.get(&id)).cloned()
+}
+
+fn get_param(
+    registry: &ClassRegistry,
+    class: InteractionClassId,
+    values: &AttributeValues,
+    name: &str,
+) -> Option<Value> {
+    registry.parameter_id(class, name).and_then(|id| values.get(&id)).cloned()
+}
+
+fn f64_of(v: Option<Value>) -> f64 {
+    v.and_then(|v| v.as_f64()).unwrap_or(0.0)
+}
+
+fn vec3_of(v: Option<Value>) -> Vec3 {
+    v.and_then(|v| v.as_vec3()).map(Vec3::from).unwrap_or(Vec3::ZERO)
+}
+
+fn bool_of(v: Option<Value>) -> bool {
+    v.and_then(|v| v.as_bool()).unwrap_or(false)
+}
+
+fn text_of(v: Option<Value>) -> String {
+    v.and_then(|v| v.as_text().map(str::to_owned)).unwrap_or_default()
+}
+
+fn u32_of(v: Option<Value>) -> u32 {
+    v.and_then(|v| v.as_u32()).unwrap_or(0)
+}
+
+/// Crane state as published by the dynamics module.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CraneStateMsg {
+    pub chassis_position: Vec3,
+    pub chassis_yaw: f64,
+    pub chassis_pitch: f64,
+    pub chassis_roll: f64,
+    pub speed: f64,
+    pub engine_intensity: f64,
+    pub slew_angle: f64,
+    pub luff_angle: f64,
+    pub boom_length: f64,
+    pub cable_length: f64,
+    pub boom_tip: Vec3,
+    pub radius_utilization: f64,
+    pub moment_utilization: f64,
+}
+
+impl CraneStateMsg {
+    /// Encodes into attribute values.
+    pub fn to_values(&self, registry: &ClassRegistry, fom: &CraneFom) -> AttributeValues {
+        let mut v = AttributeValues::new();
+        let c = fom.crane_state;
+        put(registry, c, &mut v, "chassis_position", Value::Vec3(self.chassis_position.into()));
+        put(registry, c, &mut v, "chassis_yaw", Value::F64(self.chassis_yaw));
+        put(registry, c, &mut v, "chassis_pitch", Value::F64(self.chassis_pitch));
+        put(registry, c, &mut v, "chassis_roll", Value::F64(self.chassis_roll));
+        put(registry, c, &mut v, "speed", Value::F64(self.speed));
+        put(registry, c, &mut v, "engine_intensity", Value::F64(self.engine_intensity));
+        put(registry, c, &mut v, "slew_angle", Value::F64(self.slew_angle));
+        put(registry, c, &mut v, "luff_angle", Value::F64(self.luff_angle));
+        put(registry, c, &mut v, "boom_length", Value::F64(self.boom_length));
+        put(registry, c, &mut v, "cable_length", Value::F64(self.cable_length));
+        put(registry, c, &mut v, "boom_tip", Value::Vec3(self.boom_tip.into()));
+        put(registry, c, &mut v, "radius_utilization", Value::F64(self.radius_utilization));
+        put(registry, c, &mut v, "moment_utilization", Value::F64(self.moment_utilization));
+        v
+    }
+
+    /// Decodes from attribute values (missing attributes default to zero).
+    pub fn from_values(registry: &ClassRegistry, fom: &CraneFom, values: &AttributeValues) -> CraneStateMsg {
+        let c = fom.crane_state;
+        CraneStateMsg {
+            chassis_position: vec3_of(get(registry, c, values, "chassis_position")),
+            chassis_yaw: f64_of(get(registry, c, values, "chassis_yaw")),
+            chassis_pitch: f64_of(get(registry, c, values, "chassis_pitch")),
+            chassis_roll: f64_of(get(registry, c, values, "chassis_roll")),
+            speed: f64_of(get(registry, c, values, "speed")),
+            engine_intensity: f64_of(get(registry, c, values, "engine_intensity")),
+            slew_angle: f64_of(get(registry, c, values, "slew_angle")),
+            luff_angle: f64_of(get(registry, c, values, "luff_angle")),
+            boom_length: f64_of(get(registry, c, values, "boom_length")),
+            cable_length: f64_of(get(registry, c, values, "cable_length")),
+            boom_tip: vec3_of(get(registry, c, values, "boom_tip")),
+            radius_utilization: f64_of(get(registry, c, values, "radius_utilization")),
+            moment_utilization: f64_of(get(registry, c, values, "moment_utilization")),
+        }
+    }
+}
+
+/// Hook and cargo state as published by the dynamics module.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct HookStateMsg {
+    pub hook_position: Vec3,
+    pub cargo_position: Vec3,
+    pub swing_angle: f64,
+    pub cargo_attached: bool,
+    pub cargo_mass: f64,
+}
+
+impl HookStateMsg {
+    /// Encodes into attribute values.
+    pub fn to_values(&self, registry: &ClassRegistry, fom: &CraneFom) -> AttributeValues {
+        let mut v = AttributeValues::new();
+        let c = fom.hook_state;
+        put(registry, c, &mut v, "hook_position", Value::Vec3(self.hook_position.into()));
+        put(registry, c, &mut v, "cargo_position", Value::Vec3(self.cargo_position.into()));
+        put(registry, c, &mut v, "swing_angle", Value::F64(self.swing_angle));
+        put(registry, c, &mut v, "cargo_attached", Value::Bool(self.cargo_attached));
+        put(registry, c, &mut v, "cargo_mass", Value::F64(self.cargo_mass));
+        v
+    }
+
+    /// Decodes from attribute values.
+    pub fn from_values(registry: &ClassRegistry, fom: &CraneFom, values: &AttributeValues) -> HookStateMsg {
+        let c = fom.hook_state;
+        HookStateMsg {
+            hook_position: vec3_of(get(registry, c, values, "hook_position")),
+            cargo_position: vec3_of(get(registry, c, values, "cargo_position")),
+            swing_angle: f64_of(get(registry, c, values, "swing_angle")),
+            cargo_attached: bool_of(get(registry, c, values, "cargo_attached")),
+            cargo_mass: f64_of(get(registry, c, values, "cargo_mass")),
+        }
+    }
+}
+
+/// Operator inputs as published by the dashboard module.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct OperatorInputMsg {
+    pub steering: f64,
+    pub throttle: f64,
+    pub brake: f64,
+    pub reverse: bool,
+    pub slew: f64,
+    pub luff: f64,
+    pub telescope: f64,
+    pub hoist: f64,
+}
+
+impl OperatorInputMsg {
+    /// Encodes into attribute values.
+    pub fn to_values(&self, registry: &ClassRegistry, fom: &CraneFom) -> AttributeValues {
+        let mut v = AttributeValues::new();
+        let c = fom.operator_input;
+        put(registry, c, &mut v, "steering", Value::F64(self.steering));
+        put(registry, c, &mut v, "throttle", Value::F64(self.throttle));
+        put(registry, c, &mut v, "brake", Value::F64(self.brake));
+        put(registry, c, &mut v, "reverse", Value::Bool(self.reverse));
+        put(registry, c, &mut v, "slew", Value::F64(self.slew));
+        put(registry, c, &mut v, "luff", Value::F64(self.luff));
+        put(registry, c, &mut v, "telescope", Value::F64(self.telescope));
+        put(registry, c, &mut v, "hoist", Value::F64(self.hoist));
+        v
+    }
+
+    /// Decodes from attribute values.
+    pub fn from_values(
+        registry: &ClassRegistry,
+        fom: &CraneFom,
+        values: &AttributeValues,
+    ) -> OperatorInputMsg {
+        let c = fom.operator_input;
+        OperatorInputMsg {
+            steering: f64_of(get(registry, c, values, "steering")),
+            throttle: f64_of(get(registry, c, values, "throttle")),
+            brake: f64_of(get(registry, c, values, "brake")),
+            reverse: bool_of(get(registry, c, values, "reverse")),
+            slew: f64_of(get(registry, c, values, "slew")),
+            luff: f64_of(get(registry, c, values, "luff")),
+            telescope: f64_of(get(registry, c, values, "telescope")),
+            hoist: f64_of(get(registry, c, values, "hoist")),
+        }
+    }
+}
+
+/// Scenario phase and score as published by the scenario module.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ScenarioStateMsg {
+    pub phase: String,
+    pub score: f64,
+    pub elapsed: f64,
+    pub complete: bool,
+    pub passed: bool,
+    pub bar_hits: u32,
+}
+
+impl ScenarioStateMsg {
+    /// Encodes into attribute values.
+    pub fn to_values(&self, registry: &ClassRegistry, fom: &CraneFom) -> AttributeValues {
+        let mut v = AttributeValues::new();
+        let c = fom.scenario_state;
+        put(registry, c, &mut v, "phase", Value::Text(self.phase.clone()));
+        put(registry, c, &mut v, "score", Value::F64(self.score));
+        put(registry, c, &mut v, "elapsed", Value::F64(self.elapsed));
+        put(registry, c, &mut v, "complete", Value::Bool(self.complete));
+        put(registry, c, &mut v, "passed", Value::Bool(self.passed));
+        put(registry, c, &mut v, "bar_hits", Value::U32(self.bar_hits));
+        v
+    }
+
+    /// Decodes from attribute values.
+    pub fn from_values(
+        registry: &ClassRegistry,
+        fom: &CraneFom,
+        values: &AttributeValues,
+    ) -> ScenarioStateMsg {
+        let c = fom.scenario_state;
+        ScenarioStateMsg {
+            phase: text_of(get(registry, c, values, "phase")),
+            score: f64_of(get(registry, c, values, "score")),
+            elapsed: f64_of(get(registry, c, values, "elapsed")),
+            complete: bool_of(get(registry, c, values, "complete")),
+            passed: bool_of(get(registry, c, values, "passed")),
+            bar_hits: u32_of(get(registry, c, values, "bar_hits")),
+        }
+    }
+}
+
+/// A collision event sent by the dynamics module.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CollisionMsg {
+    pub location: Vec3,
+    pub impulse: f64,
+    pub obstacle: String,
+    pub scored: bool,
+}
+
+impl CollisionMsg {
+    /// Encodes into interaction parameters.
+    pub fn to_values(&self, registry: &ClassRegistry, fom: &CraneFom) -> AttributeValues {
+        let mut v = AttributeValues::new();
+        let c = fom.collision;
+        put_param(registry, c, &mut v, "location", Value::Vec3(self.location.into()));
+        put_param(registry, c, &mut v, "impulse", Value::F64(self.impulse));
+        put_param(registry, c, &mut v, "obstacle", Value::Text(self.obstacle.clone()));
+        put_param(registry, c, &mut v, "scored", Value::Bool(self.scored));
+        v
+    }
+
+    /// Decodes from interaction parameters.
+    pub fn from_values(registry: &ClassRegistry, fom: &CraneFom, values: &AttributeValues) -> CollisionMsg {
+        let c = fom.collision;
+        CollisionMsg {
+            location: vec3_of(get_param(registry, c, values, "location")),
+            impulse: f64_of(get_param(registry, c, values, "impulse")),
+            obstacle: text_of(get_param(registry, c, values, "obstacle")),
+            scored: bool_of(get_param(registry, c, values, "scored")),
+        }
+    }
+}
+
+/// An alarm raised (or cleared) by the instructor monitor.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AlarmMsg {
+    pub code: u32,
+    pub active: bool,
+    pub message: String,
+}
+
+/// Well-known alarm codes of the Status window (Figure 5).
+pub mod alarm_codes {
+    /// Derrick boom outside the safety zone.
+    pub const SAFETY_ZONE: u32 = 1;
+    /// Load moment above 90 % of the rated moment.
+    pub const OVERLOAD: u32 = 2;
+    /// A scored obstacle (bar) was struck.
+    pub const BAR_COLLISION: u32 = 3;
+    /// The chassis roll/pitch indicates a tip-over risk while driving.
+    pub const TIP_OVER: u32 = 4;
+}
+
+impl AlarmMsg {
+    /// Encodes into interaction parameters.
+    pub fn to_values(&self, registry: &ClassRegistry, fom: &CraneFom) -> AttributeValues {
+        let mut v = AttributeValues::new();
+        let c = fom.alarm;
+        put_param(registry, c, &mut v, "code", Value::U32(self.code));
+        put_param(registry, c, &mut v, "active", Value::Bool(self.active));
+        put_param(registry, c, &mut v, "message", Value::Text(self.message.clone()));
+        v
+    }
+
+    /// Decodes from interaction parameters.
+    pub fn from_values(registry: &ClassRegistry, fom: &CraneFom, values: &AttributeValues) -> AlarmMsg {
+        let c = fom.alarm;
+        AlarmMsg {
+            code: u32_of(get_param(registry, c, values, "code")),
+            active: bool_of(get_param(registry, c, values, "active")),
+            message: text_of(get_param(registry, c, values, "message")),
+        }
+    }
+}
+
+/// A fault injected by the instructor into a dashboard instrument.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultMsg {
+    /// Name of the instrument (e.g. "speedometer").
+    pub instrument: String,
+    /// Value the instrument is forced to display.
+    pub value: f64,
+}
+
+impl FaultMsg {
+    /// Encodes into interaction parameters.
+    pub fn to_values(&self, registry: &ClassRegistry, fom: &CraneFom) -> AttributeValues {
+        let mut v = AttributeValues::new();
+        let c = fom.fault;
+        put_param(registry, c, &mut v, "instrument", Value::Text(self.instrument.clone()));
+        put_param(registry, c, &mut v, "value", Value::F64(self.value));
+        v
+    }
+
+    /// Decodes from interaction parameters.
+    pub fn from_values(registry: &ClassRegistry, fom: &CraneFom, values: &AttributeValues) -> FaultMsg {
+        let c = fom.fault;
+        FaultMsg {
+            instrument: text_of(get_param(registry, c, values, "instrument")),
+            value: f64_of(get_param(registry, c, values, "value")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fom_registers_all_classes() {
+        let (registry, fom) = CraneFom::standard();
+        assert!(registry.object_class_count() >= 4);
+        assert!(registry.interaction_class_count() >= 5);
+        assert!(registry.contains_object_class(fom.crane_state));
+        assert!(registry.contains_interaction_class(fom.collision));
+    }
+
+    #[test]
+    fn crane_state_roundtrips() {
+        let (registry, fom) = CraneFom::standard();
+        let msg = CraneStateMsg {
+            chassis_position: Vec3::new(1.0, 2.0, 3.0),
+            chassis_yaw: 0.5,
+            chassis_pitch: -0.1,
+            chassis_roll: 0.05,
+            speed: 4.2,
+            engine_intensity: 0.7,
+            slew_angle: 1.1,
+            luff_angle: 0.8,
+            boom_length: 14.0,
+            cable_length: 6.5,
+            boom_tip: Vec3::new(2.0, 12.0, 5.0),
+            radius_utilization: 0.6,
+            moment_utilization: 0.4,
+        };
+        let values = msg.to_values(&registry, &fom);
+        assert_eq!(CraneStateMsg::from_values(&registry, &fom, &values), msg);
+    }
+
+    #[test]
+    fn remaining_messages_roundtrip() {
+        let (registry, fom) = CraneFom::standard();
+        let hook = HookStateMsg {
+            hook_position: Vec3::new(0.0, 5.0, 1.0),
+            cargo_position: Vec3::new(0.0, 1.0, 1.0),
+            swing_angle: 0.2,
+            cargo_attached: true,
+            cargo_mass: 1500.0,
+        };
+        assert_eq!(HookStateMsg::from_values(&registry, &fom, &hook.to_values(&registry, &fom)), hook);
+
+        let input = OperatorInputMsg { steering: -0.3, throttle: 0.9, reverse: true, hoist: -0.5, ..Default::default() };
+        assert_eq!(
+            OperatorInputMsg::from_values(&registry, &fom, &input.to_values(&registry, &fom)),
+            input
+        );
+
+        let scenario = ScenarioStateMsg {
+            phase: "Traverse".into(),
+            score: 80.0,
+            elapsed: 125.0,
+            complete: false,
+            passed: false,
+            bar_hits: 2,
+        };
+        assert_eq!(
+            ScenarioStateMsg::from_values(&registry, &fom, &scenario.to_values(&registry, &fom)),
+            scenario
+        );
+
+        let collision = CollisionMsg { location: Vec3::unit_x(), impulse: 3.0, obstacle: "bar-1".into(), scored: true };
+        assert_eq!(
+            CollisionMsg::from_values(&registry, &fom, &collision.to_values(&registry, &fom)),
+            collision
+        );
+
+        let alarm = AlarmMsg { code: alarm_codes::OVERLOAD, active: true, message: "overload".into() };
+        assert_eq!(AlarmMsg::from_values(&registry, &fom, &alarm.to_values(&registry, &fom)), alarm);
+
+        let fault = FaultMsg { instrument: "speedometer".into(), value: 55.0 };
+        assert_eq!(FaultMsg::from_values(&registry, &fom, &fault.to_values(&registry, &fom)), fault);
+    }
+
+    #[test]
+    fn missing_attributes_default_to_zero() {
+        let (registry, fom) = CraneFom::standard();
+        let empty = AttributeValues::new();
+        let msg = CraneStateMsg::from_values(&registry, &fom, &empty);
+        assert_eq!(msg.speed, 0.0);
+        assert_eq!(msg.chassis_position, Vec3::ZERO);
+    }
+}

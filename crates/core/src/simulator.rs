@@ -1,0 +1,404 @@
+//! The assembled mobile-crane training simulator.
+//!
+//! Reproduces the deployment of the paper's §4: eight desktop computers on one
+//! LAN — three display channels, one frame-synchronization server, and four
+//! computers hosting the dynamics, dashboard + scenario, instructor + audio and
+//! motion-platform modules — all glued together by the Communication Backbone.
+
+use cod_cluster::{frame_period_for_fps, Cluster, ClusterConfig, ComputerId, FrameSyncServer};
+use cod_net::{LanConfig, LanStats, Micros};
+use render_sim::GpuCostModel;
+use serde::{Deserialize, Serialize};
+
+use crate::audio::AudioLp;
+use crate::config::{GpuGeneration, OperatorKind, SimulatorConfig};
+use crate::dashboard::DashboardLp;
+use crate::dynamics::DynamicsLp;
+use crate::fom::CraneFom;
+use crate::instructor::{FaultInjector, InstructorLp};
+use crate::motion::MotionPlatformLp;
+use crate::operator::{ExamOperator, IdleOperator, Operator, RecklessOperator};
+use crate::scenario::ScenarioLp;
+use crate::telemetry::{SharedTelemetry, TelemetrySnapshot};
+use crate::visual::VisualDisplayLp;
+use cod_cb::{CbError, ClassRegistry};
+use crane_scene::course::Course;
+
+/// Summary of a completed (or interrupted) training session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionReport {
+    /// Frames executed by the cluster executive.
+    pub frames_run: u64,
+    /// Final exam score.
+    pub score: f64,
+    /// Final scenario phase.
+    pub phase: String,
+    /// Whether the exam was completed and passed.
+    pub passed: bool,
+    /// Number of scored bar collisions.
+    pub bar_hits: u32,
+    /// Total collision events observed.
+    pub collisions: usize,
+    /// Frame rate sustainable by the distributed cluster (pipelined execution).
+    pub cluster_fps: f64,
+    /// Frame rate a single computer running every module sequentially could sustain.
+    pub sequential_fps: f64,
+    /// Frame rate of the synchronized surround view (slowest channel + swap lock).
+    pub synchronized_fps: f64,
+    /// Frame rate of the slowest channel free-running (no swap lock).
+    pub free_running_fps: f64,
+    /// Latest per-channel modeled render times.
+    pub channel_frame_times: Vec<Micros>,
+    /// Largest hook swing amplitude observed, in metres.
+    pub max_hook_swing: f64,
+    /// Whether any motion-platform actuator saturated.
+    pub platform_saturated: bool,
+    /// Latest audio output level (RMS).
+    pub audio_rms: f64,
+    /// Virtual channels established across every CB.
+    pub established_channels: usize,
+    /// LAN traffic counters.
+    pub lan: LanStats,
+}
+
+/// The assembled simulator.
+pub struct CraneSimulator {
+    config: SimulatorConfig,
+    cluster: Cluster,
+    telemetry: SharedTelemetry,
+    fault_injector: FaultInjector,
+    registry: ClassRegistry,
+    fom: CraneFom,
+    display_count: usize,
+    barrier_overhead: Micros,
+}
+
+impl CraneSimulator {
+    /// Builds the full eight-computer deployment and runs the Communication
+    /// Backbone initialization phase.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid or a module fails to
+    /// declare its publications and subscriptions.
+    pub fn new(config: SimulatorConfig) -> Result<CraneSimulator, CbError> {
+        config.validate().map_err(CbError::Codec)?;
+        let (registry, fom) = CraneFom::standard();
+        let telemetry = SharedTelemetry::new();
+
+        let cluster_config = ClusterConfig {
+            lan: LanConfig::fast_ethernet(config.seed),
+            frame_period: frame_period_for_fps(config.target_fps),
+            init_rounds: 120,
+        };
+        let mut cluster = Cluster::new(cluster_config, registry.clone());
+        let gpu = match config.gpu {
+            GpuGeneration::Tnt2 => GpuCostModel::tnt2_class(),
+            GpuGeneration::NextGeneration => GpuCostModel::next_generation(),
+        };
+
+        // The top of the rack: one computer per display channel.
+        for channel in 0..config.display_channels {
+            let pc = cluster.add_computer(&format!("display-{channel}"));
+            cluster.add_lp(
+                pc,
+                Box::new(VisualDisplayLp::new(
+                    registry.clone(),
+                    fom,
+                    channel,
+                    config.display_channels,
+                    config.display_width,
+                    config.display_height,
+                    config.render_pixels,
+                    gpu,
+                    telemetry.clone(),
+                )),
+            )?;
+        }
+        // The fourth computer: the synchronization server.
+        let sync_pc = cluster.add_computer("sync-server");
+        cluster.add_lp(sync_pc, Box::new(FrameSyncServer::new(fom.sync, config.display_channels)))?;
+
+        // The remaining computers host the other modules.
+        let dynamics_pc = cluster.add_computer("dynamics-pc");
+        cluster.add_lp(
+            dynamics_pc,
+            Box::new(DynamicsLp::new(registry.clone(), fom, config.cargo_mass_kg, telemetry.clone())),
+        )?;
+
+        let control_pc = cluster.add_computer("control-pc");
+        let operator = make_operator(config.operator);
+        cluster.add_lp(
+            control_pc,
+            Box::new(DashboardLp::new(registry.clone(), fom, operator, telemetry.clone())),
+        )?;
+        cluster.add_lp(control_pc, Box::new(ScenarioLp::new(registry.clone(), fom, telemetry.clone())))?;
+
+        let instructor_pc = cluster.add_computer("instructor-pc");
+        let (instructor, fault_injector) =
+            InstructorLp::new(registry.clone(), fom, telemetry.clone());
+        cluster.add_lp(instructor_pc, Box::new(instructor))?;
+        cluster.add_lp(instructor_pc, Box::new(AudioLp::new(registry.clone(), fom, telemetry.clone())))?;
+
+        let motion_pc = cluster.add_computer("motion-pc");
+        cluster.add_lp(
+            motion_pc,
+            Box::new(MotionPlatformLp::new(
+                registry.clone(),
+                fom,
+                config.target_fps,
+                config.seed ^ 0x5eed,
+                telemetry.clone(),
+            )),
+        )?;
+
+        let mut simulator = CraneSimulator {
+            config,
+            cluster,
+            telemetry,
+            fault_injector,
+            registry,
+            fom,
+            display_count: config.display_channels,
+            barrier_overhead: Micros::from_millis(3),
+        };
+        simulator.cluster.initialize()?;
+        Ok(simulator)
+    }
+
+    /// The configuration the simulator was built with.
+    pub fn config(&self) -> &SimulatorConfig {
+        &self.config
+    }
+
+    /// The shared telemetry sink.
+    pub fn telemetry(&self) -> &SharedTelemetry {
+        &self.telemetry
+    }
+
+    /// The instructor's fault-injection console.
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.fault_injector
+    }
+
+    /// Number of computers in the rack.
+    pub fn computer_count(&self) -> usize {
+        self.cluster.computer_count()
+    }
+
+    /// The module placement: for each computer, its name and resident module names.
+    pub fn rack_layout(&self) -> Vec<(String, Vec<String>)> {
+        (0..self.cluster.computer_count())
+            .map(|i| {
+                let computer = self.cluster.computer(ComputerId(i));
+                (
+                    computer.name().to_owned(),
+                    computer.lp_names().iter().map(|s| (*s).to_owned()).collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// Runs the configured number of exam frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error raised by a module or the backbone.
+    pub fn run(&mut self) -> Result<(), CbError> {
+        let frames = self.config.exam_frames;
+        self.run_frames(frames)
+    }
+
+    /// Runs `frames` additional frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error raised by a module or the backbone.
+    pub fn run_frames(&mut self, frames: usize) -> Result<(), CbError> {
+        self.cluster.run_frames(frames)
+    }
+
+    /// Plugs an additional display channel into the running system — the
+    /// dynamic-join capability the paper's §2.3 calls out ("an LP (an extra
+    /// display, for example) can be dynamically added to the system without
+    /// restarting the entire system").
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the new module fails to initialize.
+    pub fn add_extra_display(&mut self) -> Result<(), CbError> {
+        let channel = self.display_count;
+        self.display_count += 1;
+        let gpu = match self.config.gpu {
+            GpuGeneration::Tnt2 => GpuCostModel::tnt2_class(),
+            GpuGeneration::NextGeneration => GpuCostModel::next_generation(),
+        };
+        let pc = self.cluster.add_computer(&format!("display-{channel}"));
+        self.cluster.add_lp(
+            pc,
+            Box::new(VisualDisplayLp::new(
+                self.registry.clone(),
+                self.fom,
+                channel,
+                self.display_count,
+                self.config.display_width,
+                self.config.display_height,
+                self.config.render_pixels,
+                gpu,
+                self.telemetry.clone(),
+            )),
+        )?;
+        Ok(())
+    }
+
+    /// A snapshot of the raw telemetry.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        self.telemetry.snapshot()
+    }
+
+    /// Builds the session report from the telemetry and cluster metrics.
+    pub fn report(&self) -> SessionReport {
+        let snap = self.telemetry.snapshot();
+        let metrics = self.cluster.metrics();
+        let frame_period = self.cluster.frame_period();
+
+        let slowest_channel =
+            snap.channel_frame_times.iter().copied().max().unwrap_or(Micros::ZERO);
+        let synchronized_period = if slowest_channel == Micros::ZERO {
+            Micros::ZERO
+        } else {
+            slowest_channel + self.barrier_overhead
+        };
+        let fps_of = |period: Micros| {
+            if period == Micros::ZERO {
+                0.0
+            } else {
+                1.0 / period.as_secs_f64()
+            }
+        };
+
+        SessionReport {
+            frames_run: metrics.frames_run,
+            score: snap.scenario.score,
+            phase: snap.scenario.phase.clone(),
+            passed: snap.scenario.passed,
+            bar_hits: snap.scenario.bar_hits,
+            collisions: snap.collisions.len(),
+            cluster_fps: metrics.achievable_fps(frame_period),
+            sequential_fps: metrics.sequential_fps(frame_period),
+            synchronized_fps: fps_of(synchronized_period),
+            free_running_fps: fps_of(slowest_channel),
+            channel_frame_times: snap.channel_frame_times.clone(),
+            max_hook_swing: snap.swing_history.iter().copied().fold(0.0, f64::max),
+            platform_saturated: snap.platform_saturated,
+            audio_rms: snap.audio_rms,
+            established_channels: self.cluster.established_channels(),
+            lan: self.cluster.lan_stats(),
+        }
+    }
+
+    /// The exam course in use (for operators and analysis code).
+    pub fn course(&self) -> Course {
+        Course::licensing_exam()
+    }
+}
+
+fn make_operator(kind: OperatorKind) -> Box<dyn Operator> {
+    match kind {
+        OperatorKind::Exam => Box::new(ExamOperator::new(Course::licensing_exam())),
+        OperatorKind::Idle => Box::new(IdleOperator),
+        OperatorKind::Reckless => Box::new(RecklessOperator::default()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(operator: OperatorKind, frames: usize) -> SimulatorConfig {
+        SimulatorConfig {
+            operator,
+            exam_frames: frames,
+            display_width: 64,
+            display_height: 48,
+            ..SimulatorConfig::default()
+        }
+    }
+
+    #[test]
+    fn builds_the_eight_computer_rack_of_the_paper() {
+        let simulator = CraneSimulator::new(quick_config(OperatorKind::Idle, 10)).unwrap();
+        assert_eq!(simulator.computer_count(), 8);
+        let layout = simulator.rack_layout();
+        let module_count: usize = layout.iter().map(|(_, lps)| lps.len()).sum();
+        // Seven modules of Figure 3 (visual appears three times) plus the sync server.
+        assert_eq!(module_count, 3 + 1 + 1 + 2 + 2 + 1);
+        assert!(simulator.report().established_channels > 10, "CB discovery incomplete");
+    }
+
+    #[test]
+    fn idle_session_reproduces_the_paper_frame_rate_regime() {
+        let mut simulator = CraneSimulator::new(quick_config(OperatorKind::Idle, 40)).unwrap();
+        simulator.run().unwrap();
+        let report = simulator.report();
+        assert_eq!(report.frames_run, 40);
+        assert!(
+            report.synchronized_fps > 13.0 && report.synchronized_fps < 19.0,
+            "synchronized fps = {}",
+            report.synchronized_fps
+        );
+        assert!(report.free_running_fps > report.synchronized_fps);
+        assert!(report.cluster_fps > report.sequential_fps, "the COD must beat one desktop PC");
+        assert!(report.audio_rms > 0.0, "background noise missing");
+        assert_eq!(report.channel_frame_times.len(), 3);
+    }
+
+    #[test]
+    fn exam_session_starts_driving_toward_the_course() {
+        let mut simulator = CraneSimulator::new(quick_config(OperatorKind::Exam, 200)).unwrap();
+        simulator.run().unwrap();
+        let snap = simulator.snapshot();
+        let start_z = Course::licensing_exam().start_position.z;
+        assert!(
+            snap.crane.chassis_position.z > start_z + 5.0,
+            "crane never moved: {:?}",
+            snap.crane.chassis_position
+        );
+        assert!(snap.scenario.score <= 100.0);
+        assert_eq!(snap.scenario.phase, "Driving");
+        assert!(snap.status_window.boom_raise_deg > 0.0, "status window not populated");
+        assert!(!snap.crane_track.is_empty());
+    }
+
+    #[test]
+    fn reckless_operator_trips_instructor_alarms() {
+        let mut simulator = CraneSimulator::new(quick_config(OperatorKind::Reckless, 550)).unwrap();
+        simulator.run().unwrap();
+        let snap = simulator.snapshot();
+        assert!(
+            !snap.alarm_events.is_empty(),
+            "no alarm raised by a reckless operator: {:?}",
+            snap.alarms
+        );
+    }
+
+    #[test]
+    fn extra_display_joins_the_running_system() {
+        let mut simulator = CraneSimulator::new(quick_config(OperatorKind::Idle, 20)).unwrap();
+        simulator.run_frames(20).unwrap();
+        let before = simulator.computer_count();
+        simulator.add_extra_display().unwrap();
+        simulator.run_frames(60).unwrap();
+        assert_eq!(simulator.computer_count(), before + 1);
+        let report = simulator.report();
+        // The new channel renders and reports a frame time like the others.
+        assert_eq!(report.channel_frame_times.len(), 4);
+        assert!(report.channel_frame_times[3] > Micros::ZERO);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let bad = SimulatorConfig { display_channels: 0, ..SimulatorConfig::default() };
+        assert!(CraneSimulator::new(bad).is_err());
+    }
+}

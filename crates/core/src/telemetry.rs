@@ -1,0 +1,138 @@
+//! Shared telemetry collected from the running modules.
+//!
+//! The modules run as Logical Processes owned by the cluster executive, so the
+//! surrounding application (examples, benches, tests) observes a session
+//! through this shared, lock-protected telemetry sink instead of poking into
+//! the LPs directly.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use cod_net::Micros;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::fom::{CollisionMsg, CraneStateMsg, HookStateMsg, ScenarioStateMsg};
+
+/// The instructor's Status window (paper Figure 5): the quantities displayed
+/// on the four sub-windows plus the dialogue boxes and alarm lamps.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct StatusWindow {
+    /// Current swinging (slew) angle of the derrick boom, degrees.
+    pub boom_swing_deg: f64,
+    /// Raising (luffing) angle of the derrick boom, degrees.
+    pub boom_raise_deg: f64,
+    /// Current length of the plumb cable, metres.
+    pub cable_length_m: f64,
+    /// Elongated length of the derrick boom, metres.
+    pub boom_length_m: f64,
+    /// Exam score currently displayed.
+    pub score: f64,
+    /// Scenario phase text.
+    pub phase: String,
+    /// Active alarm codes.
+    pub active_alarms: Vec<u32>,
+}
+
+/// The instructor's Dashboard window (paper Figure 6): the mirror of the
+/// instruments inside the mockup.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DashboardWindow {
+    /// Speedometer reading in km/h.
+    pub speed_kmh: f64,
+    /// Engine load gauge in `[0, 1]`.
+    pub engine_load: f64,
+    /// Load-moment indicator in `[0, ...)`, 1.0 = rated limit.
+    pub load_moment: f64,
+    /// Steering wheel position mirrored from the mockup.
+    pub steering: f64,
+    /// Whether the reverse gear lamp is lit.
+    pub reverse: bool,
+}
+
+/// Everything the telemetry sink accumulates over a session.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Frames the visual channels have completed.
+    pub frames: u64,
+    /// Latest crane state seen by any module.
+    pub crane: CraneStateMsg,
+    /// Latest hook/cargo state.
+    pub hook: HookStateMsg,
+    /// Latest scenario state (phase, score).
+    pub scenario: ScenarioStateMsg,
+    /// The instructor's Status window.
+    pub status_window: StatusWindow,
+    /// The instructor's Dashboard window.
+    pub dashboard_window: DashboardWindow,
+    /// All collision events observed so far.
+    pub collisions: Vec<CollisionMsg>,
+    /// Alarm states keyed by alarm code.
+    pub alarms: BTreeMap<u32, bool>,
+    /// Every alarm code that has been *raised* during the session, in order.
+    pub alarm_events: Vec<u32>,
+    /// Latest per-channel modeled render times.
+    pub channel_frame_times: Vec<Micros>,
+    /// Latest synchronized frame period of the surround view.
+    pub synchronized_period: Micros,
+    /// History of hook swing amplitude samples (metres).
+    pub swing_history: Vec<f64>,
+    /// Latest audio output level (RMS of the last rendered block).
+    pub audio_rms: f64,
+    /// Whether any motion-platform actuator saturated during the session.
+    pub platform_saturated: bool,
+    /// Ground track of the chassis (sampled every frame by the dynamics module).
+    pub crane_track: Vec<[f64; 2]>,
+}
+
+/// A cloneable handle to the shared telemetry sink.
+#[derive(Debug, Clone, Default)]
+pub struct SharedTelemetry {
+    inner: Arc<Mutex<TelemetrySnapshot>>,
+}
+
+impl SharedTelemetry {
+    /// Creates an empty sink.
+    pub fn new() -> SharedTelemetry {
+        SharedTelemetry::default()
+    }
+
+    /// Takes a consistent copy of everything recorded so far.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        self.inner.lock().clone()
+    }
+
+    /// Runs a closure with mutable access to the telemetry data.
+    pub fn update<R>(&self, f: impl FnOnce(&mut TelemetrySnapshot) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_is_a_copy() {
+        let t = SharedTelemetry::new();
+        t.update(|d| {
+            d.frames = 3;
+            d.scenario.score = 90.0;
+            d.alarms.insert(1, true);
+        });
+        let snap = t.snapshot();
+        assert_eq!(snap.frames, 3);
+        assert_eq!(snap.scenario.score, 90.0);
+        t.update(|d| d.frames = 10);
+        assert_eq!(snap.frames, 3, "snapshot must not follow later updates");
+        assert_eq!(t.snapshot().frames, 10);
+    }
+
+    #[test]
+    fn handles_share_the_same_sink() {
+        let a = SharedTelemetry::new();
+        let b = a.clone();
+        a.update(|d| d.audio_rms = 0.5);
+        assert_eq!(b.snapshot().audio_rms, 0.5);
+    }
+}

@@ -1,0 +1,288 @@
+//! One visual display channel (paper §3.7, §4) as a Logical Process.
+//!
+//! Each of the three display computers runs one instance of this module. It
+//! keeps a local copy of the training world, animates the crane nodes from the
+//! reflected state, renders (or cost-models) its view, and participates in the
+//! swap-lock protocol run by the synchronization server so the three monitors
+//! present a consistent surround view.
+
+use cod_cb::{CbApi, CbError, ClassRegistry};
+use cod_cluster::{FrameSyncClient, LogicalProcess};
+use cod_net::Micros;
+use crane_scene::world::TrainingWorld;
+use render_sim::{Camera, GpuCostModel, Renderer};
+use sim_math::{Quat, Transform, Vec3};
+
+use crate::fom::{CraneFom, CraneStateMsg, HookStateMsg};
+use crate::telemetry::SharedTelemetry;
+
+/// One display channel of the surround view.
+pub struct VisualDisplayLp {
+    name: String,
+    registry: ClassRegistry,
+    fom: CraneFom,
+    telemetry: SharedTelemetry,
+
+    channel: usize,
+    yaw_offset: f64,
+    world: TrainingWorld,
+    renderer: Option<Renderer>,
+    cost_model: GpuCostModel,
+    sync: FrameSyncClient,
+
+    crane: CraneStateMsg,
+    hook: HookStateMsg,
+    last_frame_time: Micros,
+    frames_rendered: u64,
+}
+
+impl VisualDisplayLp {
+    /// Creates display channel `channel` of `channel_count`, spreading the
+    /// channels over roughly 120 degrees of yaw.
+    ///
+    /// When `render_pixels` is false the module runs the cost model only,
+    /// which is what the frame-rate experiments need; set it to true to
+    /// produce real images (screenshots in the examples).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        registry: ClassRegistry,
+        fom: CraneFom,
+        channel: usize,
+        channel_count: usize,
+        width: usize,
+        height: usize,
+        render_pixels: bool,
+        cost_model: GpuCostModel,
+        telemetry: SharedTelemetry,
+    ) -> VisualDisplayLp {
+        assert!(channel < channel_count, "channel index out of range");
+        let per_channel = 120f64.to_radians() / channel_count as f64;
+        let yaw_offset = (channel as f64 - (channel_count as f64 - 1.0) / 2.0) * per_channel;
+        VisualDisplayLp {
+            name: format!("visual-{channel}"),
+            sync: FrameSyncClient::new(fom.sync, channel as u32),
+            registry,
+            fom,
+            telemetry,
+            channel,
+            yaw_offset,
+            world: TrainingWorld::build(),
+            renderer: if render_pixels { Some(Renderer::new(width, height)) } else { None },
+            cost_model,
+            crane: CraneStateMsg::default(),
+            hook: HookStateMsg::default(),
+            last_frame_time: Micros::ZERO,
+            frames_rendered: 0,
+        }
+    }
+
+    /// Number of frames this channel has rendered.
+    pub fn frames_rendered(&self) -> u64 {
+        self.frames_rendered
+    }
+
+    /// The camera of this channel: inside the cab, turned by the channel's yaw offset.
+    pub fn camera(&self) -> Camera {
+        let eye = self.crane.chassis_position + Vec3::new(0.0, 3.2, 1.5);
+        let mut camera = Camera {
+            position: eye,
+            yaw: self.crane.chassis_yaw,
+            pitch: -0.05,
+            ..Camera::default()
+        };
+        camera = camera.with_yaw_offset(self.yaw_offset);
+        camera
+    }
+
+    /// Updates the local scene graph from the reflected crane and hook state.
+    fn animate_scene(&mut self) {
+        let crane_nodes = self.world.crane;
+        let chassis_rotation = Quat::from_yaw_pitch_roll(
+            self.crane.chassis_yaw,
+            self.crane.chassis_pitch,
+            self.crane.chassis_roll,
+        );
+        self.world.scene.set_local_transform(
+            crane_nodes.chassis,
+            Transform::new(self.crane.chassis_position, chassis_rotation),
+        );
+        self.world.scene.set_local_transform(
+            crane_nodes.superstructure,
+            Transform::new(
+                Vec3::new(0.0, 1.7, -1.0),
+                Quat::from_axis_angle(Vec3::unit_y(), self.crane.slew_angle),
+            ),
+        );
+        self.world.scene.set_local_transform(
+            crane_nodes.boom,
+            Transform::new(
+                Vec3::new(0.0, 1.2, 0.5),
+                Quat::from_axis_angle(Vec3::unit_x(), -self.crane.luff_angle),
+            ),
+        );
+        // The cargo is a root-level node: place it from the reflected state.
+        self.world.scene.set_local_transform(
+            crane_nodes.cargo,
+            Transform::from_translation(self.hook.cargo_position),
+        );
+    }
+
+    fn render_frame(&mut self) -> Micros {
+        self.animate_scene();
+        let frame_time = match self.renderer.as_mut() {
+            Some(renderer) => {
+                let camera = {
+                    let eye = self.crane.chassis_position + Vec3::new(0.0, 3.2, 1.5);
+                    Camera { position: eye, yaw: self.crane.chassis_yaw + self.yaw_offset, pitch: -0.05, ..Camera::default() }
+                };
+                let stats = renderer.render(&self.world.scene, &camera);
+                stats.frame_time(&self.cost_model)
+            }
+            None => self.cost_model.frame_time_for_scene(self.world.scene.polygon_count()),
+        };
+        self.frames_rendered += 1;
+        frame_time
+    }
+
+    /// A PPM screenshot of the last rendered frame, if pixel rendering is enabled.
+    pub fn screenshot_ppm(&self) -> Option<Vec<u8>> {
+        self.renderer.as_ref().map(|r| r.framebuffer().to_ppm())
+    }
+}
+
+impl LogicalProcess for VisualDisplayLp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn init(&mut self, cb: &mut dyn CbApi) -> Result<(), CbError> {
+        cb.subscribe_object_class(self.fom.crane_state)?;
+        cb.subscribe_object_class(self.fom.hook_state)?;
+        self.sync.init(cb)
+    }
+
+    fn step(&mut self, cb: &mut dyn CbApi, _dt: f64) -> Result<(), CbError> {
+        for reflection in cb.reflections() {
+            if reflection.class == self.fom.crane_state {
+                self.crane = CraneStateMsg::from_values(&self.registry, &self.fom, &reflection.values);
+            } else if reflection.class == self.fom.hook_state {
+                self.hook = HookStateMsg::from_values(&self.registry, &self.fom, &reflection.values);
+            }
+        }
+
+        if self.sync.is_waiting() {
+            // Blocked on the swap lock: just poll for the release.
+            self.sync.poll_release(cb);
+            self.last_frame_time = Micros(500);
+        } else {
+            let frame_time = self.render_frame();
+            self.last_frame_time = frame_time;
+            self.sync.report_ready(cb)?;
+        }
+
+        let channel = self.channel;
+        let frame_time = self.last_frame_time;
+        let frames = self.sync.frames_swapped();
+        self.telemetry.update(|t| {
+            if t.channel_frame_times.len() <= channel {
+                t.channel_frame_times.resize(channel + 1, Micros::ZERO);
+            }
+            if frame_time > Micros(1_000) {
+                t.channel_frame_times[channel] = frame_time;
+            }
+            t.frames = t.frames.max(frames);
+        });
+        Ok(())
+    }
+
+    fn last_step_cost(&self) -> Micros {
+        self.last_frame_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn display(render_pixels: bool) -> VisualDisplayLp {
+        let (registry, fom) = CraneFom::standard();
+        VisualDisplayLp::new(
+            registry,
+            fom,
+            1,
+            3,
+            80,
+            60,
+            render_pixels,
+            GpuCostModel::tnt2_class(),
+            SharedTelemetry::new(),
+        )
+    }
+
+    #[test]
+    fn cost_model_only_channel_reports_paper_scale_frame_times() {
+        let mut lp = display(false);
+        let t = lp.render_frame();
+        assert!(t.as_millis() > 30 && t.as_millis() < 90, "frame time {t}");
+        assert_eq!(lp.frames_rendered(), 1);
+        assert!(lp.screenshot_ppm().is_none());
+    }
+
+    #[test]
+    fn pixel_rendering_channel_produces_a_screenshot() {
+        let mut lp = display(true);
+        lp.crane.chassis_position = Vec3::new(0.0, 0.0, -40.0);
+        lp.render_frame();
+        let ppm = lp.screenshot_ppm().expect("renderer enabled");
+        assert!(ppm.starts_with(b"P6"));
+        assert!(ppm.len() > 80 * 60);
+    }
+
+    #[test]
+    fn channels_spread_across_the_surround_fov() {
+        let (registry, fom) = CraneFom::standard();
+        let telemetry = SharedTelemetry::new();
+        let left = VisualDisplayLp::new(
+            registry.clone(),
+            fom,
+            0,
+            3,
+            32,
+            24,
+            false,
+            GpuCostModel::tnt2_class(),
+            telemetry.clone(),
+        );
+        let right = VisualDisplayLp::new(
+            registry,
+            fom,
+            2,
+            3,
+            32,
+            24,
+            false,
+            GpuCostModel::tnt2_class(),
+            telemetry,
+        );
+        assert!(left.yaw_offset < 0.0 && right.yaw_offset > 0.0);
+        assert!((right.yaw_offset - left.yaw_offset).to_degrees() > 70.0);
+        assert!((right.camera().yaw - left.camera().yaw).to_degrees() > 70.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn channel_index_must_be_in_range() {
+        let (registry, fom) = CraneFom::standard();
+        let _ = VisualDisplayLp::new(
+            registry,
+            fom,
+            3,
+            3,
+            32,
+            24,
+            false,
+            GpuCostModel::tnt2_class(),
+            SharedTelemetry::new(),
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Collision response: positional correction and velocity reflection.
+//!
+//! The dynamics module "first animates the collision event and then sends
+//! messages to the sound module and the visual display module" (paper §3.6).
+//! The animation part is this: push the colliding body out of the obstacle and
+//! reflect the velocity component along the contact normal.
+
+use sim_math::Vec3;
+
+use super::Contact;
+
+/// Result of resolving one contact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Resolution {
+    /// Corrected position.
+    pub position: Vec3,
+    /// Corrected velocity.
+    pub velocity: Vec3,
+    /// Magnitude of the normal impulse per unit mass (used to scale the
+    /// collision sound volume).
+    pub impulse: f64,
+}
+
+/// Resolves a contact for a point body at `position` with `velocity`.
+///
+/// `restitution` in `[0, 1]` controls how much of the normal velocity is
+/// reflected (0 = dead stop, 1 = perfect bounce).
+///
+/// # Panics
+///
+/// Panics if `restitution` is outside `[0, 1]`.
+pub fn resolve_contact(
+    position: Vec3,
+    velocity: Vec3,
+    contact: &Contact,
+    restitution: f64,
+) -> Resolution {
+    assert!((0.0..=1.0).contains(&restitution), "restitution must be within [0, 1]");
+    let normal = contact.normal.normalized_or(Vec3::unit_y());
+    let corrected_position = position + normal * contact.depth;
+    let normal_speed = velocity.dot(normal);
+    if normal_speed >= 0.0 {
+        // Already separating: only fix the penetration.
+        return Resolution { position: corrected_position, velocity, impulse: 0.0 };
+    }
+    let impulse = -(1.0 + restitution) * normal_speed;
+    Resolution {
+        position: corrected_position,
+        velocity: velocity + normal * impulse,
+        impulse,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contact(normal: Vec3, depth: f64) -> Contact {
+        Contact {
+            obstacle: 0,
+            name: "bar-0".into(),
+            point: Vec3::ZERO,
+            normal,
+            depth,
+            scored: true,
+        }
+    }
+
+    #[test]
+    fn penetration_is_corrected_along_the_normal() {
+        let c = contact(Vec3::unit_y(), 0.3);
+        let r = resolve_contact(Vec3::new(0.0, 1.0, 0.0), Vec3::ZERO, &c, 0.5);
+        assert!((r.position.y - 1.3).abs() < 1e-12);
+        assert_eq!(r.impulse, 0.0);
+    }
+
+    #[test]
+    fn approaching_velocity_is_reflected() {
+        let c = contact(Vec3::unit_y(), 0.0);
+        let r = resolve_contact(Vec3::ZERO, Vec3::new(1.0, -2.0, 0.0), &c, 0.5);
+        assert!((r.velocity.y - 1.0).abs() < 1e-12, "(-2) reflected with e=0.5 gives +1");
+        assert!((r.velocity.x - 1.0).abs() < 1e-12, "tangential velocity unchanged");
+        assert!(r.impulse > 0.0);
+    }
+
+    #[test]
+    fn separating_velocity_is_untouched() {
+        let c = contact(Vec3::unit_y(), 0.1);
+        let v = Vec3::new(0.0, 3.0, 0.0);
+        let r = resolve_contact(Vec3::ZERO, v, &c, 1.0);
+        assert_eq!(r.velocity, v);
+    }
+
+    #[test]
+    fn zero_restitution_kills_normal_velocity() {
+        let c = contact(Vec3::unit_x(), 0.0);
+        let r = resolve_contact(Vec3::ZERO, Vec3::new(-4.0, 0.5, 0.0), &c, 0.0);
+        assert!(r.velocity.x.abs() < 1e-12);
+        assert!((r.velocity.y - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_restitution_rejected() {
+        let c = contact(Vec3::unit_y(), 0.0);
+        let _ = resolve_contact(Vec3::ZERO, Vec3::ZERO, &c, 1.5);
+    }
+}

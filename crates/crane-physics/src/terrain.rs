@@ -1,0 +1,109 @@
+//! Terrain height queries and terrain following.
+
+use sim_math::Vec3;
+
+/// A queryable terrain surface.
+pub trait Terrain: Send + Sync {
+    /// Ground height at `(x, z)` in metres.
+    fn height(&self, x: f64, z: f64) -> f64;
+
+    /// Outward (upward) surface normal at `(x, z)`, estimated by central differences.
+    fn normal(&self, x: f64, z: f64) -> Vec3 {
+        let eps = 0.25;
+        let dx = self.height(x + eps, z) - self.height(x - eps, z);
+        let dz = self.height(x, z + eps) - self.height(x, z - eps);
+        Vec3::new(-dx / (2.0 * eps), 1.0, -dz / (2.0 * eps))
+            .normalized_or(Vec3::unit_y())
+    }
+
+    /// Grade (slope magnitude, rise over run) at `(x, z)`.
+    fn grade(&self, x: f64, z: f64) -> f64 {
+        let n = self.normal(x, z);
+        let horizontal = Vec3::new(n.x, 0.0, n.z).length();
+        if n.y.abs() < 1e-9 {
+            f64::INFINITY
+        } else {
+            horizontal / n.y
+        }
+    }
+}
+
+/// Perfectly flat terrain at a fixed height.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FlatTerrain {
+    /// Ground height.
+    pub height: f64,
+}
+
+impl Terrain for FlatTerrain {
+    fn height(&self, _x: f64, _z: f64) -> f64 {
+        self.height
+    }
+}
+
+/// Terrain defined by an arbitrary height function (used to share the training
+/// ground of `crane-scene` with the dynamics module).
+pub struct FnTerrain<F: Fn(f64, f64) -> f64 + Send + Sync> {
+    f: F,
+}
+
+impl<F: Fn(f64, f64) -> f64 + Send + Sync> FnTerrain<F> {
+    /// Wraps a height function as terrain.
+    pub fn new(f: F) -> FnTerrain<F> {
+        FnTerrain { f }
+    }
+}
+
+impl<F: Fn(f64, f64) -> f64 + Send + Sync> Terrain for FnTerrain<F> {
+    fn height(&self, x: f64, z: f64) -> f64 {
+        (self.f)(x, z)
+    }
+}
+
+impl<F: Fn(f64, f64) -> f64 + Send + Sync> std::fmt::Debug for FnTerrain<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FnTerrain")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_terrain_has_vertical_normal_and_zero_grade() {
+        let t = FlatTerrain { height: 2.0 };
+        assert_eq!(t.height(10.0, -5.0), 2.0);
+        assert!(t.normal(0.0, 0.0).distance(Vec3::unit_y()) < 1e-12);
+        assert_eq!(t.grade(3.0, 4.0), 0.0);
+    }
+
+    #[test]
+    fn slope_normal_tilts_against_the_gradient() {
+        // Height rises with x: the normal should lean toward -x.
+        let t = FnTerrain::new(|x, _z| 0.5 * x);
+        let n = t.normal(0.0, 0.0);
+        assert!(n.x < 0.0);
+        assert!(n.y > 0.0);
+        assert!((t.grade(0.0, 0.0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fn_terrain_matches_scene_training_ground() {
+        let t = FnTerrain::new(crane_scene::world::training_ground_height);
+        assert_eq!(t.height(0.0, 60.0), 0.0);
+        assert_eq!(
+            t.height(-12.0, -20.0),
+            crane_scene::world::training_ground_height(-12.0, -20.0)
+        );
+    }
+
+    #[test]
+    fn terrain_is_object_safe() {
+        let terrains: Vec<Box<dyn Terrain>> = vec![
+            Box::new(FlatTerrain::default()),
+            Box::new(FnTerrain::new(|x, z| x + z)),
+        ];
+        assert_eq!(terrains.len(), 2);
+    }
+}

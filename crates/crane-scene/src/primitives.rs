@@ -1,0 +1,194 @@
+//! Primitive mesh generators used to assemble the training world.
+
+use sim_math::Vec3;
+use std::f64::consts::TAU;
+
+use crate::mesh::{Color, Mesh};
+
+/// An axis-aligned box centred at `center` with full extents `size`.
+///
+/// # Panics
+///
+/// Panics if any component of `size` is not positive.
+pub fn cuboid(center: Vec3, size: Vec3, color: Color) -> Mesh {
+    assert!(size.x > 0.0 && size.y > 0.0 && size.z > 0.0, "box size must be positive");
+    let h = size * 0.5;
+    let mut m = Mesh::new(color);
+    let corners = [
+        Vec3::new(-h.x, -h.y, -h.z),
+        Vec3::new(h.x, -h.y, -h.z),
+        Vec3::new(h.x, h.y, -h.z),
+        Vec3::new(-h.x, h.y, -h.z),
+        Vec3::new(-h.x, -h.y, h.z),
+        Vec3::new(h.x, -h.y, h.z),
+        Vec3::new(h.x, h.y, h.z),
+        Vec3::new(-h.x, h.y, h.z),
+    ];
+    for c in corners {
+        m.push_vertex(center + c);
+    }
+    // 12 triangles, outward-facing (counter-clockwise seen from outside).
+    let quads: [[u32; 4]; 6] = [
+        [4, 5, 6, 7], // +Z
+        [1, 0, 3, 2], // -Z
+        [5, 1, 2, 6], // +X
+        [0, 4, 7, 3], // -X
+        [7, 6, 2, 3], // +Y
+        [0, 1, 5, 4], // -Y
+    ];
+    for [a, b, c, d] in quads {
+        m.push_triangle(a, b, c);
+        m.push_triangle(a, c, d);
+    }
+    m
+}
+
+/// A vertical (Y-axis) closed cylinder centred at `center`.
+///
+/// # Panics
+///
+/// Panics if `radius` or `height` is not positive or `segments < 3`.
+pub fn cylinder(center: Vec3, radius: f64, height: f64, segments: u32, color: Color) -> Mesh {
+    assert!(radius > 0.0 && height > 0.0, "cylinder dimensions must be positive");
+    assert!(segments >= 3, "a cylinder needs at least three segments");
+    let mut m = Mesh::new(color);
+    let half = height / 2.0;
+    let top_center = m.push_vertex(center + Vec3::new(0.0, half, 0.0));
+    let bottom_center = m.push_vertex(center + Vec3::new(0.0, -half, 0.0));
+    let mut top_ring = Vec::new();
+    let mut bottom_ring = Vec::new();
+    for i in 0..segments {
+        let angle = TAU * i as f64 / segments as f64;
+        let (s, c) = angle.sin_cos();
+        let offset = Vec3::new(radius * c, 0.0, radius * s);
+        top_ring.push(m.push_vertex(center + offset + Vec3::new(0.0, half, 0.0)));
+        bottom_ring.push(m.push_vertex(center + offset - Vec3::new(0.0, half, 0.0)));
+    }
+    for i in 0..segments as usize {
+        let j = (i + 1) % segments as usize;
+        // Side quad.
+        m.push_triangle(bottom_ring[i], bottom_ring[j], top_ring[j]);
+        m.push_triangle(bottom_ring[i], top_ring[j], top_ring[i]);
+        // Caps.
+        m.push_triangle(top_center, top_ring[j], top_ring[i]);
+        m.push_triangle(bottom_center, bottom_ring[i], bottom_ring[j]);
+    }
+    m
+}
+
+/// A flat rectangular plate on the XZ plane at height `y`, subdivided into
+/// `nx` by `nz` cells (each cell is two triangles).
+///
+/// # Panics
+///
+/// Panics if `nx` or `nz` is zero or the extents are not positive.
+pub fn ground_plane(
+    center: Vec3,
+    size_x: f64,
+    size_z: f64,
+    nx: u32,
+    nz: u32,
+    color: Color,
+) -> Mesh {
+    assert!(size_x > 0.0 && size_z > 0.0, "plane extents must be positive");
+    assert!(nx > 0 && nz > 0, "plane must have at least one cell per axis");
+    let mut m = Mesh::new(color);
+    for iz in 0..=nz {
+        for ix in 0..=nx {
+            let x = center.x - size_x / 2.0 + size_x * ix as f64 / nx as f64;
+            let z = center.z - size_z / 2.0 + size_z * iz as f64 / nz as f64;
+            m.push_vertex(Vec3::new(x, center.y, z));
+        }
+    }
+    let stride = nx + 1;
+    for iz in 0..nz {
+        for ix in 0..nx {
+            let a = iz * stride + ix;
+            let b = a + 1;
+            let c = a + stride;
+            let d = c + 1;
+            m.push_triangle(a, b, d);
+            m.push_triangle(a, d, c);
+        }
+    }
+    m
+}
+
+/// A thin horizontal bar (obstacle of the licensing course, Figure 9) spanning
+/// from `from` to `to` with a square cross-section of `thickness`.
+pub fn obstacle_bar(from: Vec3, to: Vec3, thickness: f64, color: Color) -> Mesh {
+    let center = (from + to) * 0.5;
+    let along = to - from;
+    let length = along.length().max(thickness);
+    // The bars of the course run horizontally; orient the long axis along X or Z,
+    // whichever is closer, which keeps the mesh axis-aligned and cheap.
+    let size = if along.x.abs() >= along.z.abs() {
+        Vec3::new(length, thickness, thickness)
+    } else {
+        Vec3::new(thickness, thickness, length)
+    };
+    cuboid(center, size, color)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_math::Vec3;
+
+    #[test]
+    fn cuboid_counts_and_bounds() {
+        let m = cuboid(Vec3::new(1.0, 2.0, 3.0), Vec3::new(2.0, 4.0, 6.0), Color::GRAY);
+        assert_eq!(m.polygon_count(), 12);
+        assert_eq!(m.vertices.len(), 8);
+        let aabb = m.aabb();
+        assert_eq!(aabb.min, Vec3::new(0.0, 0.0, 0.0));
+        assert_eq!(aabb.max, Vec3::new(2.0, 4.0, 6.0));
+        // Surface area of a 2x4x6 box = 2*(8+12+24) = 88.
+        assert!((m.surface_area() - 88.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cuboid_normals_point_outwards() {
+        let m = cuboid(Vec3::ZERO, Vec3::splat(2.0), Color::GRAY);
+        for i in 0..m.polygon_count() {
+            let [a, b, c] = m.triangle(i);
+            let centroid = (a + b + c) / 3.0;
+            let n = m.triangle_normal(i);
+            assert!(n.dot(centroid) > 0.0, "triangle {i} faces inwards");
+        }
+    }
+
+    #[test]
+    fn cylinder_counts() {
+        let m = cylinder(Vec3::ZERO, 1.0, 2.0, 12, Color::GRAY);
+        // Per segment: 2 side + 2 cap triangles.
+        assert_eq!(m.polygon_count(), 4 * 12);
+        let aabb = m.aabb();
+        assert!((aabb.max.y - 1.0).abs() < 1e-12);
+        assert!((aabb.min.y + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ground_plane_counts() {
+        let m = ground_plane(Vec3::ZERO, 100.0, 50.0, 10, 5, Color::GROUND);
+        assert_eq!(m.vertices.len(), 11 * 6);
+        assert_eq!(m.polygon_count(), 10 * 5 * 2);
+        assert!((m.surface_area() - 100.0 * 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn obstacle_bar_orients_along_longest_axis() {
+        let along_x = obstacle_bar(Vec3::ZERO, Vec3::new(4.0, 0.0, 0.0), 0.2, Color::SAFETY_RED);
+        let aabb = along_x.aabb();
+        assert!((aabb.max.x - aabb.min.x) > (aabb.max.z - aabb.min.z));
+        let along_z = obstacle_bar(Vec3::ZERO, Vec3::new(0.0, 0.0, 4.0), 0.2, Color::SAFETY_RED);
+        let aabb = along_z.aabb();
+        assert!((aabb.max.z - aabb.min.z) > (aabb.max.x - aabb.min.x));
+    }
+
+    #[test]
+    #[should_panic]
+    fn degenerate_cylinder_rejected() {
+        let _ = cylinder(Vec3::ZERO, 1.0, 1.0, 2, Color::GRAY);
+    }
+}

@@ -1,0 +1,107 @@
+//! View-frustum culling.
+
+use crane_scene::bounds::Aabb;
+use sim_math::{Mat4, Vec3};
+
+/// One clip plane in the form `normal . p + d >= 0` for points inside.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Plane {
+    normal: Vec3,
+    d: f64,
+}
+
+impl Plane {
+    fn normalized(normal: Vec3, d: f64) -> Plane {
+        let len = normal.length().max(1e-12);
+        Plane { normal: normal / len, d: d / len }
+    }
+
+    fn signed_distance(&self, p: Vec3) -> f64 {
+        self.normal.dot(p) + self.d
+    }
+}
+
+/// A view frustum extracted from a view-projection matrix
+/// (Gribb–Hartmann plane extraction).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frustum {
+    planes: [Plane; 6],
+}
+
+impl Frustum {
+    /// Extracts the six clip planes from a view-projection matrix.
+    pub fn from_view_projection(m: &Mat4) -> Frustum {
+        let row = |i: usize| Vec3::new(m.m[i][0], m.m[i][1], m.m[i][2]);
+        let d = |i: usize| m.m[i][3];
+        let planes = [
+            Plane::normalized(row(3) + row(0), d(3) + d(0)), // left
+            Plane::normalized(row(3) - row(0), d(3) - d(0)), // right
+            Plane::normalized(row(3) + row(1), d(3) + d(1)), // bottom
+            Plane::normalized(row(3) - row(1), d(3) - d(1)), // top
+            Plane::normalized(row(3) + row(2), d(3) + d(2)), // near
+            Plane::normalized(row(3) - row(2), d(3) - d(2)), // far
+        ];
+        Frustum { planes }
+    }
+
+    /// Whether a sphere is at least partially inside the frustum.
+    pub fn intersects_sphere(&self, center: Vec3, radius: f64) -> bool {
+        self.planes.iter().all(|p| p.signed_distance(center) >= -radius)
+    }
+
+    /// Whether an AABB is at least partially inside the frustum
+    /// (conservative: may report true for boxes slightly outside).
+    pub fn intersects_aabb(&self, aabb: &Aabb) -> bool {
+        if aabb.is_empty() {
+            return false;
+        }
+        self.intersects_sphere(aabb.center(), aabb.bounding_radius())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::camera::Camera;
+
+    fn camera() -> Camera {
+        Camera::look_at(Vec3::new(0.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 10.0))
+    }
+
+    #[test]
+    fn sphere_in_front_is_visible() {
+        let f = Frustum::from_view_projection(&camera().view_projection());
+        assert!(f.intersects_sphere(Vec3::new(0.0, 0.0, 20.0), 1.0));
+    }
+
+    #[test]
+    fn sphere_behind_is_culled() {
+        let f = Frustum::from_view_projection(&camera().view_projection());
+        assert!(!f.intersects_sphere(Vec3::new(0.0, 0.0, -20.0), 1.0));
+    }
+
+    #[test]
+    fn sphere_far_to_the_side_is_culled_but_partial_overlap_is_kept() {
+        let f = Frustum::from_view_projection(&camera().view_projection());
+        assert!(!f.intersects_sphere(Vec3::new(200.0, 0.0, 20.0), 1.0));
+        // A big sphere straddling the left plane must be kept.
+        assert!(f.intersects_sphere(Vec3::new(-25.0, 0.0, 20.0), 30.0));
+    }
+
+    #[test]
+    fn beyond_far_plane_is_culled() {
+        let cam = camera();
+        let f = Frustum::from_view_projection(&cam.view_projection());
+        assert!(!f.intersects_sphere(Vec3::new(0.0, 0.0, cam.far + 100.0), 1.0));
+    }
+
+    #[test]
+    fn aabb_tests_follow_sphere_tests() {
+        let f = Frustum::from_view_projection(&camera().view_projection());
+        let visible = Aabb::from_center_half_extents(Vec3::new(0.0, 0.0, 15.0), Vec3::splat(1.0));
+        let hidden = Aabb::from_center_half_extents(Vec3::new(0.0, 0.0, -15.0), Vec3::splat(1.0));
+        assert!(f.intersects_aabb(&visible));
+        assert!(!f.intersects_aabb(&hidden));
+        assert!(!f.intersects_aabb(&Aabb::empty()));
+    }
+}

@@ -1,0 +1,226 @@
+//! Triangle rasterization with a z-buffer and flat shading.
+
+use crane_scene::mesh::Color;
+use sim_math::{Mat4, Vec3};
+
+use crate::framebuffer::Framebuffer;
+
+/// Result of rasterizing one triangle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TriangleRaster {
+    /// Whether the triangle produced any fragments.
+    pub drawn: bool,
+    /// Number of pixels written (after the depth test).
+    pub pixels_written: usize,
+    /// Number of pixels covered (before the depth test).
+    pub pixels_covered: usize,
+}
+
+/// Projects a world-space point through `view_projection` into screen space.
+/// Returns `(screen_x, screen_y, depth, clip_w)`.
+fn project(view_projection: &Mat4, p: Vec3, width: f64, height: f64) -> (f64, f64, f64, f64) {
+    let (clip, w) = view_projection.transform_homogeneous(p);
+    if w.abs() < 1e-9 {
+        return (0.0, 0.0, f64::INFINITY, w);
+    }
+    let ndc = clip / w;
+    let x = (ndc.x + 1.0) * 0.5 * width;
+    let y = (1.0 - ndc.y) * 0.5 * height;
+    (x, y, ndc.z, w)
+}
+
+/// Rasterizes one world-space triangle into the framebuffer with flat shading.
+///
+/// Triangles that are behind the camera, back-facing, or degenerate are
+/// rejected. The shade is the triangle color scaled by a simple directional
+/// light plus an ambient term.
+pub fn rasterize_triangle(
+    fb: &mut Framebuffer,
+    view_projection: &Mat4,
+    world: [Vec3; 3],
+    normal: Vec3,
+    color: Color,
+    light_direction: Vec3,
+) -> TriangleRaster {
+    let mut result = TriangleRaster::default();
+    let width = fb.width() as f64;
+    let height = fb.height() as f64;
+
+    let projected = [
+        project(view_projection, world[0], width, height),
+        project(view_projection, world[1], width, height),
+        project(view_projection, world[2], width, height),
+    ];
+    // Reject triangles crossing or behind the near plane (w <= 0); a full
+    // clipper is unnecessary for the scene scale used here.
+    if projected.iter().any(|p| p.3 <= 0.0) {
+        return result;
+    }
+
+    // Back-face culling in screen space (counter-clockwise wound faces are front).
+    let area = (projected[1].0 - projected[0].0) * (projected[2].1 - projected[0].1)
+        - (projected[2].0 - projected[0].0) * (projected[1].1 - projected[0].1);
+    if area.abs() < 1e-9 || area > 0.0 {
+        return result;
+    }
+
+    // Flat shading.
+    let light = light_direction.normalized_or(Vec3::unit_y());
+    let diffuse = normal.normalized_or(Vec3::unit_y()).dot(-light).max(0.0);
+    let shade = color.scaled(0.35 + 0.65 * diffuse);
+
+    // Bounding box of the triangle, clamped to the framebuffer.
+    let min_x = projected.iter().map(|p| p.0).fold(f64::INFINITY, f64::min).floor().max(0.0) as usize;
+    let max_x = projected.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max).ceil().min(width - 1.0)
+        as usize;
+    let min_y = projected.iter().map(|p| p.1).fold(f64::INFINITY, f64::min).floor().max(0.0) as usize;
+    let max_y = projected.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max).ceil().min(height - 1.0)
+        as usize;
+    if min_x > max_x || min_y > max_y {
+        return result;
+    }
+
+    let edge = |a: (f64, f64, f64, f64), b: (f64, f64, f64, f64), px: f64, py: f64| {
+        (b.0 - a.0) * (py - a.1) - (b.1 - a.1) * (px - a.0)
+    };
+
+    for y in min_y..=max_y {
+        for x in min_x..=max_x {
+            let px = x as f64 + 0.5;
+            let py = y as f64 + 0.5;
+            let w0 = edge(projected[1], projected[2], px, py);
+            let w1 = edge(projected[2], projected[0], px, py);
+            let w2 = edge(projected[0], projected[1], px, py);
+            // With clockwise screen-space winding all edge functions are <= 0 inside.
+            if w0 > 0.0 || w1 > 0.0 || w2 > 0.0 {
+                continue;
+            }
+            result.pixels_covered += 1;
+            let sum = w0 + w1 + w2;
+            if sum.abs() < 1e-12 {
+                continue;
+            }
+            let depth = (w0 * projected[0].2 + w1 * projected[1].2 + w2 * projected[2].2) / sum;
+            if fb.set_pixel(x, y, depth as f32, shade) {
+                result.pixels_written += 1;
+            }
+        }
+    }
+    result.drawn = result.pixels_covered > 0;
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::camera::Camera;
+
+    fn camera() -> Camera {
+        Camera::look_at(Vec3::new(0.0, 0.0, -10.0), Vec3::ZERO)
+    }
+
+    fn facing_triangle() -> [Vec3; 3] {
+        // Counter-clockwise as seen from the camera at -Z looking toward +Z.
+        [Vec3::new(-1.0, -1.0, 0.0), Vec3::new(0.0, 1.0, 0.0), Vec3::new(1.0, -1.0, 0.0)]
+    }
+
+    #[test]
+    fn front_facing_triangle_is_drawn() {
+        let mut fb = Framebuffer::new(64, 64);
+        let cam = camera();
+        let r = rasterize_triangle(
+            &mut fb,
+            &cam.view_projection(),
+            facing_triangle(),
+            Vec3::new(0.0, 0.0, -1.0),
+            Color::CRANE_YELLOW,
+            Vec3::new(0.0, -1.0, 1.0),
+        );
+        assert!(r.drawn);
+        assert!(r.pixels_written > 20, "only {} pixels written", r.pixels_written);
+        assert!(fb.covered_pixels(Color::new(0, 0, 0)) == r.pixels_written);
+    }
+
+    #[test]
+    fn back_facing_triangle_is_culled() {
+        let mut fb = Framebuffer::new(64, 64);
+        let cam = camera();
+        let mut tri = facing_triangle();
+        tri.swap(1, 2);
+        let r = rasterize_triangle(
+            &mut fb,
+            &cam.view_projection(),
+            tri,
+            Vec3::new(0.0, 0.0, 1.0),
+            Color::CRANE_YELLOW,
+            Vec3::unit_y(),
+        );
+        assert!(!r.drawn);
+        assert_eq!(r.pixels_written, 0);
+    }
+
+    #[test]
+    fn triangle_behind_the_camera_is_rejected() {
+        let mut fb = Framebuffer::new(64, 64);
+        let cam = camera();
+        let tri = [
+            Vec3::new(-1.0, -1.0, -50.0),
+            Vec3::new(0.0, 1.0, -50.0),
+            Vec3::new(1.0, -1.0, -50.0),
+        ];
+        let r = rasterize_triangle(
+            &mut fb,
+            &cam.view_projection(),
+            tri,
+            Vec3::new(0.0, 0.0, -1.0),
+            Color::GRAY,
+            Vec3::unit_y(),
+        );
+        assert!(!r.drawn);
+    }
+
+    #[test]
+    fn nearer_triangle_wins_the_depth_test() {
+        let mut fb = Framebuffer::new(64, 64);
+        let cam = camera();
+        let vp = cam.view_projection();
+        let far = facing_triangle().map(|v| v + Vec3::new(0.0, 0.0, 5.0));
+        rasterize_triangle(&mut fb, &vp, far, Vec3::new(0.0, 0.0, -1.0), Color::SAFETY_RED, Vec3::unit_y());
+        rasterize_triangle(
+            &mut fb,
+            &vp,
+            facing_triangle(),
+            Vec3::new(0.0, 0.0, -1.0),
+            Color::CRANE_YELLOW,
+            Vec3::unit_y(),
+        );
+        // The centre pixel must show the nearer (yellow-ish) triangle.
+        let centre = fb.pixel(32, 36);
+        assert!(centre.r > centre.b, "expected the near triangle's warm color, got {centre:?}");
+    }
+
+    #[test]
+    fn brighter_when_facing_the_light() {
+        let mut lit = Framebuffer::new(32, 32);
+        let mut unlit = Framebuffer::new(32, 32);
+        let cam = camera();
+        let vp = cam.view_projection();
+        rasterize_triangle(
+            &mut lit,
+            &vp,
+            facing_triangle(),
+            Vec3::new(0.0, 0.0, -1.0),
+            Color::new(200, 200, 200),
+            Vec3::new(0.0, 0.0, 1.0), // light shining toward -Z, i.e. onto the face
+        );
+        rasterize_triangle(
+            &mut unlit,
+            &vp,
+            facing_triangle(),
+            Vec3::new(0.0, 0.0, -1.0),
+            Color::new(200, 200, 200),
+            Vec3::new(0.0, 0.0, -1.0),
+        );
+        assert!(lit.pixel(16, 18).r > unlit.pixel(16, 18).r);
+    }
+}

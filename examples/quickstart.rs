@@ -1,0 +1,40 @@
+//! Quickstart: build the eight-computer simulator, run a short session, print
+//! the report.
+//!
+//! ```text
+//! cargo run --release -p cod-examples --bin quickstart
+//! ```
+
+use crane_sim::{CraneSimulator, OperatorKind, SimulatorConfig};
+
+fn main() {
+    let config = SimulatorConfig {
+        operator: OperatorKind::Exam,
+        exam_frames: 400,
+        ..SimulatorConfig::default()
+    };
+    println!("building the COD mobile-crane simulator ({} display channels)...", config.display_channels);
+    let mut simulator = CraneSimulator::new(config).expect("simulator builds");
+
+    println!("rack layout:");
+    for (computer, modules) in simulator.rack_layout() {
+        println!("  {computer:<14} -> {}", modules.join(", "));
+    }
+
+    println!("\nrunning {} frames...", simulator.config().exam_frames);
+    simulator.run().expect("session runs");
+
+    let report = simulator.report();
+    println!("\n--- session report -------------------------------------------");
+    println!("frames run                 : {}", report.frames_run);
+    println!("scenario phase             : {}", report.phase);
+    println!("score                      : {:.0}", report.score);
+    println!("bar hits                   : {}", report.bar_hits);
+    println!("synchronized surround view : {:5.1} fps", report.synchronized_fps);
+    println!("free-running slowest chan  : {:5.1} fps", report.free_running_fps);
+    println!("cluster (pipelined) limit  : {:5.1} fps", report.cluster_fps);
+    println!("single-PC (sequential)     : {:5.1} fps", report.sequential_fps);
+    println!("virtual channels           : {}", report.established_channels);
+    println!("LAN datagrams sent         : {}", report.lan.datagrams_sent);
+    println!("max hook swing             : {:.2} m", report.max_hook_swing);
+}

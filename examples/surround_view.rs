@@ -1,0 +1,56 @@
+//! The three-channel surround view (experiments E1–E3): renders real images of
+//! the training world with the software rasterizer and prints the frame-rate
+//! table the paper's §4 reports a single point of (16 fps at 3 235 polygons).
+//!
+//! ```text
+//! cargo run --release -p cod-examples --bin surround_view
+//! ```
+
+use crane_scene::world::TrainingWorld;
+use render_sim::{Camera, GpuCostModel, SurroundView};
+use sim_math::Vec3;
+
+fn main() {
+    let world = TrainingWorld::build();
+    println!("training world: {} polygons (paper: 3 235)", world.polygon_count());
+
+    // Render one frame of each channel to a PPM screenshot.
+    let mut view = SurroundView::new(3, 320, 240, 120f64.to_radians());
+    let camera = Camera::look_at(Vec3::new(0.0, 5.0, -55.0), Vec3::new(0.0, 2.0, 40.0));
+    let stats = view.render(&world.scene, &camera);
+    for (channel, channel_stats) in stats.channels.iter().enumerate() {
+        let path = format!("surround_channel_{channel}.ppm");
+        std::fs::write(&path, view.renderer(channel).framebuffer().to_ppm())
+            .expect("screenshot written");
+        println!(
+            "channel {channel}: {} triangles submitted, {} drawn, {} px -> {} ({path})",
+            channel_stats.triangles_submitted,
+            channel_stats.triangles_drawn,
+            channel_stats.pixels_written,
+            stats.channel_times[channel],
+        );
+    }
+    println!(
+        "synchronized: {:.1} fps   free-running: {:.1} fps   sync overhead: {:.1}%",
+        stats.synchronized_fps(),
+        stats.free_running_fps(),
+        stats.sync_overhead_fraction() * 100.0
+    );
+
+    // E1/E2: frame rate vs polygon budget, TNT2-class vs next-generation hardware.
+    println!("\n  polygons | TNT2 sync fps | TNT2 free fps | next-gen sync fps");
+    println!("  ---------+---------------+---------------+------------------");
+    for polygons in [500usize, 1_000, 2_000, 3_235, 5_000, 8_000, 12_000, 20_000] {
+        let old = SurroundView::paper_configuration();
+        let mut new = SurroundView::paper_configuration();
+        new.set_cost_model(GpuCostModel::next_generation());
+        let old_est = old.estimate(polygons);
+        let new_est = new.estimate(polygons);
+        println!(
+            "  {polygons:>8} | {:>13.1} | {:>13.1} | {:>17.1}",
+            old_est.synchronized_fps(),
+            old_est.free_running_fps(),
+            new_est.synchronized_fps()
+        );
+    }
+}

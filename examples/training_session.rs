@@ -1,0 +1,56 @@
+//! A free-training session with a careless trainee: shows the instructor's
+//! Status and Dashboard windows, the alarms they raise, and the instructor's
+//! fault-injection console (paper §3.3, Figures 5 and 6).
+//!
+//! ```text
+//! cargo run --release -p cod-examples --bin training_session
+//! ```
+
+use crane_sim::fom::FaultMsg;
+use crane_sim::{CraneSimulator, OperatorKind, SimulatorConfig};
+
+fn main() {
+    let mut simulator = CraneSimulator::new(SimulatorConfig {
+        operator: OperatorKind::Reckless,
+        exam_frames: 0,
+        ..SimulatorConfig::default()
+    })
+    .expect("simulator builds");
+
+    println!("free-training session with a careless trainee\n");
+    for block in 0..8 {
+        simulator.run_frames(100).expect("frames run");
+        let snap = simulator.snapshot();
+        let w = &snap.status_window;
+        println!(
+            "t={:5.1}s  swing {:6.1} deg  raise {:5.1} deg  cable {:4.1} m  boom {:4.1} m  score {:3.0}  alarms {:?}",
+            snap.scenario.elapsed,
+            w.boom_swing_deg,
+            w.boom_raise_deg,
+            w.cable_length_m,
+            w.boom_length_m,
+            w.score,
+            w.active_alarms
+        );
+        println!(
+            "          dashboard mirror: {:5.1} km/h  engine {:4.2}  load moment {:4.2}  steering {:+.2}",
+            snap.dashboard_window.speed_kmh,
+            snap.dashboard_window.engine_load,
+            snap.dashboard_window.load_moment,
+            snap.dashboard_window.steering
+        );
+
+        if block == 3 {
+            println!("\n>>> instructor clicks the speedometer: fault injected (stuck at 88 km/h)\n");
+            simulator
+                .fault_injector()
+                .inject(FaultMsg { instrument: "speedometer".into(), value: 88.0 });
+        }
+    }
+
+    let snap = simulator.snapshot();
+    println!("\nalarm history (codes raised): {:?}", snap.alarm_events);
+    println!("collision events            : {}", snap.collisions.len());
+    println!("audio output level (rms)    : {:.3}", snap.audio_rms);
+    println!("platform actuators saturated: {}", snap.platform_saturated);
+}

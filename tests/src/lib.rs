@@ -1,0 +1,2 @@
+//! This crate exists only to host the cross-crate integration tests in
+//! `tests/tests/`; it exports nothing.

@@ -1,0 +1,81 @@
+//! Cross-crate integration tests: the frame-synchronized surround view
+//! (experiments E1/E3/E12) and the cluster-vs-single-PC comparison (E6).
+
+use cod_net::Micros;
+use crane_sim::{CraneSimulator, GpuGeneration, OperatorKind, SimulatorConfig};
+
+fn base_config() -> SimulatorConfig {
+    SimulatorConfig {
+        operator: OperatorKind::Idle,
+        exam_frames: 0,
+        display_width: 64,
+        display_height: 48,
+        ..SimulatorConfig::default()
+    }
+}
+
+#[test]
+fn synchronized_surround_view_lands_in_the_papers_regime() {
+    let mut simulator = CraneSimulator::new(base_config()).unwrap();
+    simulator.run_frames(60).unwrap();
+    let report = simulator.report();
+    // Paper §4: 16 fps for the synchronized three-channel view of 3 235 polygons.
+    assert!(
+        report.synchronized_fps > 13.0 && report.synchronized_fps < 19.0,
+        "synchronized fps {}",
+        report.synchronized_fps
+    );
+    // Synchronization costs something, so the free-running channel is faster.
+    assert!(report.free_running_fps > report.synchronized_fps);
+    // The sync overhead is a modest fraction of the frame, not a majority.
+    let overhead = 1.0 - report.synchronized_fps / report.free_running_fps;
+    assert!(overhead > 0.01 && overhead < 0.3, "overhead fraction {overhead}");
+}
+
+#[test]
+fn next_generation_hardware_clears_the_thirty_fps_bar() {
+    let mut config = base_config();
+    config.gpu = GpuGeneration::NextGeneration;
+    config.target_fps = 60.0;
+    let mut simulator = CraneSimulator::new(config).unwrap();
+    simulator.run_frames(60).unwrap();
+    let report = simulator.report();
+    assert!(
+        report.free_running_fps > 30.0,
+        "faster hardware should exceed 30 fps, got {}",
+        report.free_running_fps
+    );
+}
+
+#[test]
+fn distributed_cluster_beats_the_single_computer_baseline() {
+    let mut simulator = CraneSimulator::new(base_config()).unwrap();
+    simulator.run_frames(60).unwrap();
+    let report = simulator.report();
+    assert!(report.cluster_fps > report.sequential_fps * 2.0,
+        "expected a clear pipelining speedup: cluster {} vs sequential {}",
+        report.cluster_fps, report.sequential_fps);
+}
+
+#[test]
+fn extra_display_channel_joins_without_restarting_the_system() {
+    let mut simulator = CraneSimulator::new(base_config()).unwrap();
+    simulator.run_frames(30).unwrap();
+    let channels_before = simulator.report().channel_frame_times.len();
+    simulator.add_extra_display().unwrap();
+    simulator.run_frames(80).unwrap();
+    let report = simulator.report();
+    assert_eq!(report.channel_frame_times.len(), channels_before + 1);
+    assert!(report.channel_frame_times.iter().all(|t| *t > Micros::ZERO));
+    // The original channels keep making progress after the join.
+    assert!(report.frames_run >= 110);
+}
+
+#[test]
+fn lan_carries_data_but_co_resident_modules_stay_local() {
+    let mut simulator = CraneSimulator::new(base_config()).unwrap();
+    simulator.run_frames(50).unwrap();
+    let report = simulator.report();
+    assert!(report.lan.datagrams_sent > 100, "state updates should cross the LAN");
+    assert!(report.established_channels > 10);
+}

@@ -15,4 +15,4 @@ pub mod source;
 
 pub use event::SoundEvent;
 pub use mixer::{Mixer, RenderedBlock};
-pub use source::{SourceId, SourceKind, SoundSource, Waveform};
+pub use source::{SoundSource, SourceId, SourceKind, Waveform};

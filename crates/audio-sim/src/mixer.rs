@@ -271,10 +271,16 @@ mod tests {
     fn distance_attenuates_positional_sources() {
         let mut near = Mixer::new(8_000);
         near.set_listener(Vec3::ZERO);
-        near.handle_event(SoundEvent::Collision { location: Vec3::new(2.0, 0.0, 0.0), impulse: 5.0 });
+        near.handle_event(SoundEvent::Collision {
+            location: Vec3::new(2.0, 0.0, 0.0),
+            impulse: 5.0,
+        });
         let mut far = Mixer::new(8_000);
         far.set_listener(Vec3::ZERO);
-        far.handle_event(SoundEvent::Collision { location: Vec3::new(60.0, 0.0, 0.0), impulse: 5.0 });
+        far.handle_event(SoundEvent::Collision {
+            location: Vec3::new(60.0, 0.0, 0.0),
+            impulse: 5.0,
+        });
         assert!(near.render(0.3).rms() > far.render(0.3).rms() * 2.0);
     }
 

@@ -54,7 +54,9 @@ impl Waveform {
                     + 0.3 * (TAU * frequency * 1.83 * t).sin()
                     + 0.2 * (TAU * frequency * 0.61 * t + 1.3).sin()
             }
-            Waveform::Strike { frequency, decay } => (TAU * frequency * t).sin() * (-decay * t).exp(),
+            Waveform::Strike { frequency, decay } => {
+                (TAU * frequency * t).sin() * (-decay * t).exp()
+            }
         }
     }
 }
@@ -111,7 +113,8 @@ mod tests {
     fn strike_decays() {
         let wf = Waveform::Strike { frequency: 200.0, decay: 6.0 };
         let early: f64 = (0..100).map(|i| wf.sample(i as f64 * 1e-3).abs()).fold(0.0, f64::max);
-        let late: f64 = (0..100).map(|i| wf.sample(1.0 + i as f64 * 1e-3).abs()).fold(0.0, f64::max);
+        let late: f64 =
+            (0..100).map(|i| wf.sample(1.0 + i as f64 * 1e-3).abs()).fold(0.0, f64::max);
         assert!(late < early * 0.1);
     }
 

@@ -56,11 +56,9 @@ fn bench_collision(c: &mut Criterion) {
         hierarchical.build_grid(12.0);
         let mut naive = synthetic_world(obstacles);
         let probe = Vec3::new(30.0, 1.0, 30.0);
-        group.bench_with_input(
-            BenchmarkId::new("multi_level", obstacles),
-            &obstacles,
-            |b, _| b.iter(|| hierarchical.query_sphere(probe, 1.0)),
-        );
+        group.bench_with_input(BenchmarkId::new("multi_level", obstacles), &obstacles, |b, _| {
+            b.iter(|| hierarchical.query_sphere(probe, 1.0))
+        });
         group.bench_with_input(BenchmarkId::new("naive", obstacles), &obstacles, |b, _| {
             b.iter(|| naive.query_sphere_naive(probe, 1.0))
         });

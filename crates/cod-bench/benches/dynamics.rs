@@ -6,7 +6,9 @@
 //! for several cargo masses.
 
 use crane_physics::terrain::FlatTerrain;
-use crane_physics::{CablePendulum, CraneControls, CraneRig, CraneVehicle, DriveControls, VehicleParams};
+use crane_physics::{
+    CablePendulum, CraneControls, CraneRig, CraneVehicle, DriveControls, VehicleParams,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sim_math::Vec3;
 

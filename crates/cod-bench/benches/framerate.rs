@@ -5,8 +5,8 @@
 //! three-channel surround view) and benchmarks the real software rasterizer on
 //! the training world.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crane_scene::world::TrainingWorld;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use render_sim::{Camera, GpuCostModel, Renderer, SurroundView};
 use sim_math::Vec3;
 

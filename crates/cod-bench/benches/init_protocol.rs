@@ -14,7 +14,8 @@ fn establish(subscribers: usize, broadcast_interval: Micros, loss: f64) -> (usiz
     let mut registry = ClassRegistry::new();
     let class = registry.register_object_class("CraneState", &["x"]).unwrap();
     let lan = SimLan::shared(LanConfig::fast_ethernet(17).with_loss(loss));
-    let config = CbConfig { subscription_broadcast_interval: broadcast_interval, ..CbConfig::default() };
+    let config =
+        CbConfig { subscription_broadcast_interval: broadcast_interval, ..CbConfig::default() };
 
     let mut publisher =
         CbKernel::with_config(SimLan::attach(&lan, "publisher"), registry.clone(), config);

@@ -48,21 +48,25 @@ fn bench_platform(c: &mut Criterion) {
     });
 
     for fps in [16.0f64, 60.0] {
-        group.bench_with_input(BenchmarkId::new("controller_visual_frame", fps as u64), &fps, |b, fps| {
-            let mut controller = MotionController::new(*fps, 3);
-            b.iter(|| {
-                controller.push_cue(MotionCue {
-                    acceleration: Vec3::new(0.5, 0.0, 1.5),
-                    pitch: 0.02,
-                    roll: -0.01,
-                    yaw_rate: 0.1,
-                    engine_intensity: 0.7,
+        group.bench_with_input(
+            BenchmarkId::new("controller_visual_frame", fps as u64),
+            &fps,
+            |b, fps| {
+                let mut controller = MotionController::new(*fps, 3);
+                b.iter(|| {
+                    controller.push_cue(MotionCue {
+                        acceleration: Vec3::new(0.5, 0.0, 1.5),
+                        pitch: 0.02,
+                        roll: -0.01,
+                        yaw_rate: 0.1,
+                        engine_intensity: 0.7,
+                    });
+                    for _ in 0..12 {
+                        controller.servo_step(1.0 / (fps * 12.0));
+                    }
                 });
-                for _ in 0..12 {
-                    controller.servo_step(1.0 / (fps * 12.0));
-                }
-            });
-        });
+            },
+        );
     }
     group.finish();
 }

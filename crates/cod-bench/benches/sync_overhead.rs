@@ -5,8 +5,11 @@
 //! the swap-lock barrier for 1–6 display channels and benchmarks the barrier
 //! protocol itself running over the Communication Backbone.
 
-use cod_cluster::{Cluster, ClusterConfig, FrameSyncClient, FrameSyncFom, FrameSyncServer, LogicalProcess, SyncBarrierModel};
 use cod_cb::{CbApi, CbError, ClassRegistry};
+use cod_cluster::{
+    Cluster, ClusterConfig, FrameSyncClient, FrameSyncFom, FrameSyncServer, LogicalProcess,
+    SyncBarrierModel,
+};
 use cod_net::Micros;
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -34,7 +37,8 @@ impl LogicalProcess for BenchDisplay {
 fn print_reproduction_table() {
     println!("\n=== E3: swap-lock overhead vs number of display channels ===");
     println!("channels | free-run fps | synchronized fps | overhead %");
-    let model = SyncBarrierModel { round_trip: Micros::from_millis(1), server_processing: Micros(500) };
+    let model =
+        SyncBarrierModel { round_trip: Micros::from_millis(1), server_processing: Micros(500) };
     for channels in 1..=6usize {
         // Every channel renders the same 3 235-polygon scene; small spread from load.
         let render_times: Vec<Micros> =
@@ -64,7 +68,10 @@ fn bench_barrier_protocol(c: &mut Criterion) {
             for i in 0..channels {
                 let pc = cluster.add_computer(&format!("display-{i}"));
                 cluster
-                    .add_lp(pc, Box::new(BenchDisplay { client: FrameSyncClient::new(sync_fom, i as u32) }))
+                    .add_lp(
+                        pc,
+                        Box::new(BenchDisplay { client: FrameSyncClient::new(sync_fom, i as u32) }),
+                    )
                     .unwrap();
             }
             let server_pc = cluster.add_computer("sync-server");

@@ -45,7 +45,10 @@ impl EstablishedPair {
             now += Micros::from_millis(10);
             SimLan::advance_to(&lan, now);
         }
-        assert!(publisher.established_channel_count() >= 1, "bench setup failed to establish a channel");
+        assert!(
+            publisher.established_channel_count() >= 1,
+            "bench setup failed to establish a channel"
+        );
         EstablishedPair { lan, publisher, subscriber, publisher_lp, subscriber_lp, class, now }
     }
 

@@ -56,8 +56,11 @@ pub trait CbApi {
     /// # Errors
     ///
     /// Returns an error if the object is unknown or not owned by this LP.
-    fn update_attributes(&mut self, object: ObjectId, values: AttributeValues)
-        -> Result<(), CbError>;
+    fn update_attributes(
+        &mut self,
+        object: ObjectId,
+        values: AttributeValues,
+    ) -> Result<(), CbError>;
 
     /// Sends an interaction of `class` with the given parameters.
     ///

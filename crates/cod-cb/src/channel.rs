@@ -124,7 +124,12 @@ impl ChannelTable {
 
     /// Whether an equivalent publisher-side channel already exists (same
     /// subscriber LP, publisher LP and class).
-    pub fn has_equivalent(&self, publisher_lp: LpId, subscriber_lp: LpId, class: ObjectClassId) -> bool {
+    pub fn has_equivalent(
+        &self,
+        publisher_lp: LpId,
+        subscriber_lp: LpId,
+        class: ObjectClassId,
+    ) -> bool {
         self.channels.values().any(|c| {
             c.publisher_lp == publisher_lp && c.subscriber_lp == subscriber_lp && c.class == class
         })
@@ -151,7 +156,13 @@ mod tests {
     use super::*;
     use cod_net::{NodeId, Port};
 
-    fn channel(id: u64, publisher: u64, subscriber: u64, class: u16, established: bool) -> VirtualChannel {
+    fn channel(
+        id: u64,
+        publisher: u64,
+        subscriber: u64,
+        class: u16,
+        established: bool,
+    ) -> VirtualChannel {
         VirtualChannel {
             id: ChannelId(id),
             class: ObjectClassId(class),

@@ -234,10 +234,13 @@ mod tests {
     #[test]
     fn primitive_roundtrip() {
         let mut w = Writer::new();
-        w.u8(7).u16(300).u32(70_000).u64(1 << 40).f64(-2.5).string("crane").addr(Addr::new(
-            NodeId(3),
-            Port(9),
-        ));
+        w.u8(7)
+            .u16(300)
+            .u32(70_000)
+            .u64(1 << 40)
+            .f64(-2.5)
+            .string("crane")
+            .addr(Addr::new(NodeId(3), Port(9)));
         let buf = w.finish();
         let mut r = Reader::new(&buf);
         assert_eq!(r.u8().unwrap(), 7);

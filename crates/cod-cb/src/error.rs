@@ -39,7 +39,9 @@ impl fmt::Display for CbError {
             CbError::NotPublished { class } => {
                 write!(f, "object class {} is not published by this logical process", class.0)
             }
-            CbError::DuplicateName(n) => write!(f, "duplicate name in federation object model: {n}"),
+            CbError::DuplicateName(n) => {
+                write!(f, "duplicate name in federation object model: {n}")
+            }
             CbError::Codec(msg) => write!(f, "wire message decode failed: {msg}"),
             CbError::Net(e) => write!(f, "network transport error: {e}"),
         }

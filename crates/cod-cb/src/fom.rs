@@ -187,10 +187,7 @@ impl ClassRegistry {
 
     /// Looks up an object class by name.
     pub fn object_class_by_name(&self, name: &str) -> Option<ObjectClassId> {
-        self.object_classes
-            .iter()
-            .position(|c| c.name == name)
-            .map(|i| ObjectClassId(i as u16))
+        self.object_classes.iter().position(|c| c.name == name).map(|i| ObjectClassId(i as u16))
     }
 
     /// Looks up an interaction class by name.
@@ -259,9 +256,8 @@ mod tests {
         let crane = r
             .register_object_class("CraneState", &["position", "boom_angle", "cable_length"])
             .unwrap();
-        let collision = r
-            .register_interaction_class("CollisionEvent", &["location", "impulse"])
-            .unwrap();
+        let collision =
+            r.register_interaction_class("CollisionEvent", &["location", "impulse"]).unwrap();
         (r, crane, collision)
     }
 

@@ -266,7 +266,11 @@ impl<T: Transport> CbKernel<T> {
     /// # Errors
     ///
     /// Returns an error if the LP or the class is unknown.
-    pub fn subscribe_object_class(&mut self, lp: LpId, class: ObjectClassId) -> Result<(), CbError> {
+    pub fn subscribe_object_class(
+        &mut self,
+        lp: LpId,
+        class: ObjectClassId,
+    ) -> Result<(), CbError> {
         self.check_lp(lp)?;
         self.check_object_class(class)?;
         if self.subscriptions.insert(lp, class) {
@@ -289,11 +293,7 @@ impl<T: Transport> CbKernel<T> {
         if !self.fom.contains_interaction_class(class) {
             return Err(CbError::UnknownInteractionClass(class));
         }
-        self.lps
-            .get_mut(&lp)
-            .expect("checked above")
-            .interaction_subscriptions
-            .insert(class);
+        self.lps.get_mut(&lp).expect("checked above").interaction_subscriptions.insert(class);
         Ok(())
     }
 
@@ -349,12 +349,8 @@ impl<T: Transport> CbKernel<T> {
         // Local routing: co-resident subscribers get the reflection without
         // touching the network (paper §2.1: "no matter that the corresponded
         // LP is in the same machine or across network").
-        let local_subscribers: Vec<LpId> = self
-            .subscriptions
-            .subscribers_of(class)
-            .into_iter()
-            .filter(|s| *s != lp)
-            .collect();
+        let local_subscribers: Vec<LpId> =
+            self.subscriptions.subscribers_of(class).into_iter().filter(|s| *s != lp).collect();
         for sub in local_subscribers {
             if let Some(entry) = self.lps.get_mut(&sub) {
                 entry.reflections.push_back(Reflection {
@@ -370,12 +366,8 @@ impl<T: Transport> CbKernel<T> {
         }
 
         // Remote routing: push over every established outgoing channel.
-        let outgoing: Vec<(ChannelId, Addr)> = self
-            .channels
-            .outgoing(lp, class)
-            .into_iter()
-            .map(|c| (c.id, c.remote_cb))
-            .collect();
+        let outgoing: Vec<(ChannelId, Addr)> =
+            self.channels.outgoing(lp, class).into_iter().map(|c| (c.id, c.remote_cb)).collect();
         for (channel, remote) in outgoing {
             self.outbox.push((
                 Destination::Unicast(remote),
@@ -410,7 +402,8 @@ impl<T: Transport> CbKernel<T> {
             return Err(CbError::UnknownInteractionClass(class));
         }
         self.stats.interactions_sent += 1;
-        let message = InteractionMessage { class, sender: lp, parameters: parameters.clone(), timestamp };
+        let message =
+            InteractionMessage { class, sender: lp, parameters: parameters.clone(), timestamp };
         for (id, entry) in self.lps.iter_mut() {
             if *id != lp && entry.interaction_subscriptions.contains(&class) {
                 entry.interactions.push_back(message.clone());
@@ -501,11 +494,8 @@ impl<T: Transport> CbKernel<T> {
             // A co-resident publisher already serves the subscription; keep the
             // broadcast only at the slow re-advertisement pace so late remote
             // publishers can still be discovered.
-            pending.locally_matched = self
-                .publications
-                .publishers_of(pending.class)
-                .iter()
-                .any(|p| *p != pending.lp);
+            pending.locally_matched =
+                self.publications.publishers_of(pending.class).iter().any(|p| *p != pending.lp);
             if pending.broadcast_due(now, interval, readvertise) {
                 pending.record_broadcast(now);
                 broadcasts.push(WireMessage::Subscription {
@@ -637,8 +627,10 @@ impl<T: Transport> CbKernel<T> {
                     });
                     self.stats.channels_established += 1;
                 }
-                self.outbox
-                    .push((Destination::Unicast(subscriber_cb), WireMessage::ChannelAck { channel }));
+                self.outbox.push((
+                    Destination::Unicast(subscriber_cb),
+                    WireMessage::ChannelAck { channel },
+                ));
             }
             WireMessage::ChannelAck { channel } => {
                 self.connect_last_sent.remove(&channel);
@@ -720,7 +712,7 @@ impl<T: Transport> CbKernel<T> {
 mod tests {
     use super::*;
     use crate::fom::Value;
-    use cod_net::{LanConfig, SimLan, SharedLan, SimTransport};
+    use cod_net::{LanConfig, SharedLan, SimLan, SimTransport};
 
     struct Cluster {
         lan: SharedLan,
@@ -793,7 +785,12 @@ mod tests {
         let object = publisher.register_object_instance(dynamics, crane).unwrap();
         let angle = fom.attribute_id(crane, "boom_angle").unwrap();
         publisher
-            .update_attribute_values(dynamics, object, [(angle, Value::F64(0.7))].into(), cluster.now)
+            .update_attribute_values(
+                dynamics,
+                object,
+                [(angle, Value::F64(0.7))].into(),
+                cluster.now,
+            )
             .unwrap();
         cluster.run(&mut [&mut publisher, &mut subscriber], 5);
 
@@ -853,7 +850,12 @@ mod tests {
         let object = publisher.register_object_instance(dynamics, crane).unwrap();
         let angle = fom.attribute_id(crane, "boom_angle").unwrap();
         publisher
-            .update_attribute_values(dynamics, object, [(angle, Value::F64(0.2))].into(), cluster.now)
+            .update_attribute_values(
+                dynamics,
+                object,
+                [(angle, Value::F64(0.2))].into(),
+                cluster.now,
+            )
             .unwrap();
         cluster.run(&mut [&mut publisher, &mut display1, &mut display2], 5);
         assert_eq!(display1.reflections(d1).len(), 1);
@@ -976,6 +978,9 @@ mod tests {
         subscriber.subscribe_object_class(visual, crane).unwrap();
         // Lossy network: allow plenty of protocol rounds.
         cluster.run(&mut [&mut publisher, &mut subscriber], 300);
-        assert!(subscriber.established_channel_count() >= 1, "channel never established over lossy LAN");
+        assert!(
+            subscriber.established_channel_count() >= 1,
+            "channel never established over lossy LAN"
+        );
     }
 }

@@ -65,8 +65,7 @@ impl PendingSubscription {
     /// Whether the subscription is already being served, either by an
     /// established virtual channel or by a co-resident publisher.
     pub fn is_satisfied(&self) -> bool {
-        self.locally_matched
-            || self.channels.values().any(|s| *s == ChannelSetupState::Established)
+        self.locally_matched || self.channels.values().any(|s| *s == ChannelSetupState::Established)
     }
 
     /// Whether a SUBSCRIPTION broadcast is due at `now`.
@@ -74,7 +73,12 @@ impl PendingSubscription {
     /// Before the first channel is established the broadcast repeats every
     /// `interval`; afterwards it repeats every `readvertise_interval` so that
     /// late-joining publishers can still be discovered.
-    pub fn broadcast_due(&self, now: Micros, interval: Micros, readvertise_interval: Micros) -> bool {
+    pub fn broadcast_due(
+        &self,
+        now: Micros,
+        interval: Micros,
+        readvertise_interval: Micros,
+    ) -> bool {
         let period = if self.is_satisfied() { readvertise_interval } else { interval };
         match self.last_broadcast {
             None => true,

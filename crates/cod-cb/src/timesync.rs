@@ -122,7 +122,13 @@ impl TimeManager {
     pub fn request_advance(&mut self, t: Micros) -> Micros {
         let granted = match self.lbts() {
             None => t,
-            Some(lbts) => if t <= lbts { t } else { lbts },
+            Some(lbts) => {
+                if t <= lbts {
+                    t
+                } else {
+                    lbts
+                }
+            }
         };
         if granted > self.granted {
             self.granted = granted;

@@ -193,10 +193,9 @@ impl WireMessage {
                 timestamp: r.micros()?,
                 parameters: r.attribute_values()?,
             },
-            TAG_NULL => WireMessage::NullMessage {
-                channel: ChannelId(r.u64()?),
-                time: r.micros()?,
-            },
+            TAG_NULL => {
+                WireMessage::NullMessage { channel: ChannelId(r.u64()?), time: r.micros()? }
+            }
             TAG_WITHDRAW => WireMessage::Withdraw { lp: LpId(r.u64()?) },
             tag => return Err(CbError::Codec(format!("unknown wire message tag {tag}"))),
         };

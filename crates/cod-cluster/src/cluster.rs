@@ -255,7 +255,10 @@ mod tests {
         fn step(&mut self, cb: &mut dyn CbApi, _dt: f64) -> Result<(), CbError> {
             self.count += 1;
             let attr = cb.fom().attribute_id(self.class, "value").expect("attribute");
-            cb.update_attributes(self.object.expect("init ran"), [(attr, Value::U32(self.count))].into())
+            cb.update_attributes(
+                self.object.expect("init ran"),
+                [(attr, Value::U32(self.count))].into(),
+            )
         }
         fn last_step_cost(&self) -> Micros {
             Micros::from_millis(5)
@@ -336,9 +339,7 @@ mod tests {
         let a = cluster.add_computer("producer-pc");
         let b = cluster.add_computer_with_speed("consumer-pc", 2.0);
         cluster.add_lp(a, Box::new(Producer { class, object: None, count: 0 })).unwrap();
-        cluster
-            .add_lp(b, Box::new(Consumer { class, received }))
-            .unwrap();
+        cluster.add_lp(b, Box::new(Consumer { class, received })).unwrap();
         cluster.initialize().unwrap();
         cluster.run_frames(10).unwrap();
         let m = cluster.metrics();

@@ -98,11 +98,8 @@ impl Computer {
     ///
     /// Returns an error if the LP is not resident here.
     pub fn remove_lp(&mut self, id: LpId) -> Result<Box<dyn LogicalProcess>, CbError> {
-        let index = self
-            .lps
-            .iter()
-            .position(|(lp_id, _)| *lp_id == id)
-            .ok_or(CbError::UnknownLp(id.0))?;
+        let index =
+            self.lps.iter().position(|(lp_id, _)| *lp_id == id).ok_or(CbError::UnknownLp(id.0))?;
         self.kernel.deregister_lp(id)?;
         let (_, lp) = self.lps.remove(index);
         Ok(lp)

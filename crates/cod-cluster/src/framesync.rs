@@ -212,11 +212,9 @@ impl FrameSyncClient {
             if interaction.class != self.fom.frame_go {
                 continue;
             }
-            let frame = interaction
-                .parameters
-                .get(&self.fom.go_frame)
-                .and_then(Value::as_u32)
-                .unwrap_or(0) as u64;
+            let frame =
+                interaction.parameters.get(&self.fom.go_frame).and_then(Value::as_u32).unwrap_or(0)
+                    as u64;
             if frame >= self.frame {
                 released = true;
             }
@@ -369,12 +367,9 @@ mod tests {
 
     #[test]
     fn barrier_model_overhead() {
-        let model = SyncBarrierModel {
-            round_trip: Micros::from_millis(1),
-            server_processing: Micros(500),
-        };
-        let channels =
-            [Micros::from_millis(45), Micros::from_millis(50), Micros::from_millis(48)];
+        let model =
+            SyncBarrierModel { round_trip: Micros::from_millis(1), server_processing: Micros(500) };
+        let channels = [Micros::from_millis(45), Micros::from_millis(50), Micros::from_millis(48)];
         let sync = model.synchronized_period(&channels);
         let free = SyncBarrierModel::unsynchronized_period(&channels);
         assert_eq!(free, Micros::from_millis(50));

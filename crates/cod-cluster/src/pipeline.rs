@@ -73,8 +73,7 @@ impl PipelineModel {
     ///
     /// Panics if `computers` is zero.
     pub fn period_with_computers(&self, computers: usize) -> Micros {
-        let loads: Vec<LpLoad> =
-            self.stages.iter().map(|s| LpLoad::new(&s.name, s.cost)).collect();
+        let loads: Vec<LpLoad> = self.stages.iter().map(|s| LpLoad::new(&s.name, s.cost)).collect();
         balance_load(&loads, computers).makespan
     }
 

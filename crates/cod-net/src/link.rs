@@ -41,7 +41,12 @@ impl LinkModel {
 
     /// An idealized zero-latency, lossless link (for isolating protocol costs).
     pub fn ideal() -> LinkModel {
-        LinkModel { base_latency_us: 0, jitter_us: 0, bandwidth_bps: u64::MAX, loss_probability: 0.0 }
+        LinkModel {
+            base_latency_us: 0,
+            jitter_us: 0,
+            bandwidth_bps: u64::MAX,
+            loss_probability: 0.0,
+        }
     }
 
     /// Serialization delay for a datagram of `bytes` bytes.

@@ -67,7 +67,12 @@ impl LoopbackHub {
     fn send_from(&self, src: Addr, dst: Destination, payload: &[u8]) -> Result<(), NetError> {
         let payload = Bytes::copy_from_slice(payload);
         let inner = self.inner.lock();
-        let make = |_to: &Addr| Datagram { src, dst, payload: payload.clone(), delivered_at: Micros::ZERO };
+        let make = |_to: &Addr| Datagram {
+            src,
+            dst,
+            payload: payload.clone(),
+            delivered_at: Micros::ZERO,
+        };
         match dst {
             Destination::Unicast(addr) => {
                 let tx = inner.endpoints.get(&addr).ok_or(NetError::UnknownEndpoint(addr))?;

@@ -107,10 +107,7 @@ impl SimLan {
         let addr = Addr::new(node, port);
         {
             let mut l = lan.lock();
-            assert!(
-                !l.inboxes.contains_key(&addr),
-                "endpoint {addr} already attached"
-            );
+            assert!(!l.inboxes.contains_key(&addr), "endpoint {addr} already attached");
             l.inboxes.insert(addr, VecDeque::new());
         }
         SimTransport { lan: Arc::clone(lan), addr }
@@ -186,12 +183,9 @@ impl SimLan {
                 }
                 vec![addr]
             }
-            Destination::Broadcast(port) => self
-                .inboxes
-                .keys()
-                .copied()
-                .filter(|a| a.port == port && *a != src)
-                .collect(),
+            Destination::Broadcast(port) => {
+                self.inboxes.keys().copied().filter(|a| a.port == port && *a != src).collect()
+            }
         };
         self.stats.record_send(src.node, payload.len());
         let now = self.clock.now();
@@ -304,7 +298,14 @@ mod tests {
     #[test]
     fn delivery_order_preserved_for_same_path() {
         // With zero jitter the FIFO order of equal-size datagrams must hold.
-        let config = LanConfig { link: crate::link::LinkModel { jitter_us: 0, ..crate::link::LinkModel::fast_ethernet() }, seed: 5, mtu: 65_507 };
+        let config = LanConfig {
+            link: crate::link::LinkModel {
+                jitter_us: 0,
+                ..crate::link::LinkModel::fast_ethernet()
+            },
+            seed: 5,
+            mtu: 65_507,
+        };
         let (lan, mut a, mut b) = lan_pair(config);
         for i in 0u8..10 {
             a.send(Destination::Unicast(b.local_addr()), &[i]).unwrap();
@@ -323,11 +324,7 @@ mod tests {
                 a.send(Destination::Unicast(b.local_addr()), &[i]).unwrap();
             }
             SimLan::run_until_idle(&lan);
-            b.poll()
-                .unwrap()
-                .iter()
-                .map(|d| (d.delivered_at, d.payload[0]))
-                .collect::<Vec<_>>()
+            b.poll().unwrap().iter().map(|d| (d.delivered_at, d.payload[0])).collect::<Vec<_>>()
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));

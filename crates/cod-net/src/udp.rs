@@ -204,7 +204,8 @@ mod tests {
         let mut a = UdpTransport::bind(Addr::new(NodeId(0), Port(1)), peers.clone()).unwrap();
         let mut b = UdpTransport::bind(Addr::new(NodeId(1), Port(1)), peers.clone()).unwrap();
         let mut c = UdpTransport::bind(Addr::new(NodeId(2), Port(1)), peers.clone()).unwrap();
-        let mut other_port = UdpTransport::bind(Addr::new(NodeId(3), Port(2)), peers.clone()).unwrap();
+        let mut other_port =
+            UdpTransport::bind(Addr::new(NodeId(3), Port(2)), peers.clone()).unwrap();
 
         a.send(Destination::Broadcast(Port(1)), b"bcast").unwrap();
         assert_eq!(wait_for(&mut b, 1).len(), 1);

@@ -62,9 +62,11 @@ impl LogicalProcess for AudioLp {
     fn step(&mut self, cb: &mut dyn CbApi, dt: f64) -> Result<(), CbError> {
         for reflection in cb.reflections() {
             if reflection.class == self.fom.crane_state {
-                self.crane = CraneStateMsg::from_values(&self.registry, &self.fom, &reflection.values);
+                self.crane =
+                    CraneStateMsg::from_values(&self.registry, &self.fom, &reflection.values);
             } else if reflection.class == self.fom.operator_input {
-                self.input = OperatorInputMsg::from_values(&self.registry, &self.fom, &reflection.values);
+                self.input =
+                    OperatorInputMsg::from_values(&self.registry, &self.fom, &reflection.values);
             }
         }
         for interaction in cb.interactions() {
@@ -77,7 +79,8 @@ impl LogicalProcess for AudioLp {
                     impulse: collision.impulse,
                 });
             } else if interaction.class == self.fom.alarm {
-                let alarm = AlarmMsg::from_values(&self.registry, &self.fom, &interaction.parameters);
+                let alarm =
+                    AlarmMsg::from_values(&self.registry, &self.fom, &interaction.parameters);
                 self.mixer.handle_event(SoundEvent::Alarm { active: alarm.active });
             }
         }
@@ -112,9 +115,7 @@ mod tests {
         let telemetry = SharedTelemetry::new();
         let mut cluster = Cluster::new(ClusterConfig::default(), registry.clone());
         let pc = cluster.add_computer("audio-pc");
-        cluster
-            .add_lp(pc, Box::new(AudioLp::new(registry, fom, telemetry.clone())))
-            .unwrap();
+        cluster.add_lp(pc, Box::new(AudioLp::new(registry, fom, telemetry.clone()))).unwrap();
         cluster.initialize().unwrap();
         cluster.run_frames(5).unwrap();
         assert!(telemetry.snapshot().audio_rms > 0.001, "background noise should be audible");

@@ -54,7 +54,13 @@ impl InstrumentPanel {
 
     /// Advances the needles toward the true values and returns what the
     /// instruments display (fault overrides win).
-    pub fn update(&mut self, speed_kmh: f64, engine: f64, load_moment: f64, dt: f64) -> (f64, f64, f64) {
+    pub fn update(
+        &mut self,
+        speed_kmh: f64,
+        engine: f64,
+        load_moment: f64,
+        dt: f64,
+    ) -> (f64, f64, f64) {
         let displayed_speed = self
             .faults
             .get("speedometer")
@@ -144,7 +150,8 @@ impl LogicalProcess for DashboardLp {
         // Instructor fault injections drive the meters directly (Figure 6).
         for interaction in cb.interactions() {
             if interaction.class == self.fom.fault {
-                let fault = FaultMsg::from_values(&self.registry, &self.fom, &interaction.parameters);
+                let fault =
+                    FaultMsg::from_values(&self.registry, &self.fom, &interaction.parameters);
                 self.panel.inject_fault(&fault);
             }
         }

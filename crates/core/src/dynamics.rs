@@ -119,7 +119,8 @@ impl DynamicsLp {
             chassis_pitch: self.vehicle.pitch,
             chassis_roll: self.vehicle.roll,
             speed: self.vehicle.speed,
-            engine_intensity: (self.input.throttle.abs() + self.vehicle.speed.abs() / 10.0).clamp(0.1, 1.0),
+            engine_intensity: (self.input.throttle.abs() + self.vehicle.speed.abs() / 10.0)
+                .clamp(0.1, 1.0),
             slew_angle: self.rig.state.slew_angle,
             luff_angle: self.rig.state.luff_angle,
             boom_length: self.rig.state.boom_length,
@@ -161,7 +162,8 @@ impl LogicalProcess for DynamicsLp {
         // 1. Pull the freshest operator input.
         for reflection in cb.reflections() {
             if reflection.class == self.fom.operator_input {
-                self.input = OperatorInputMsg::from_values(&self.registry, &self.fom, &reflection.values);
+                self.input =
+                    OperatorInputMsg::from_values(&self.registry, &self.fom, &reflection.values);
             }
         }
 
@@ -206,11 +208,8 @@ impl LogicalProcess for DynamicsLp {
                 resolve_contact(self.pendulum.position, self.pendulum.velocity, &contact, 0.3);
             self.pendulum.position = resolution.position;
             self.pendulum.velocity = resolution.velocity;
-            let ready = self
-                .collision_cooldowns
-                .get(&contact.name)
-                .map(|c| *c <= 0.0)
-                .unwrap_or(true);
+            let ready =
+                self.collision_cooldowns.get(&contact.name).map(|c| *c <= 0.0).unwrap_or(true);
             if ready && resolution.impulse > 0.05 {
                 self.collision_cooldowns.insert(contact.name.clone(), COLLISION_COOLDOWN);
                 let msg = CollisionMsg {
@@ -254,8 +253,8 @@ impl LogicalProcess for DynamicsLp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cod_cluster::{Cluster, ClusterConfig};
     use crate::fom::CraneFom;
+    use cod_cluster::{Cluster, ClusterConfig};
 
     fn single_pc_cluster() -> (Cluster, ClassRegistry, CraneFom, SharedTelemetry) {
         let (registry, fom) = CraneFom::standard();

@@ -68,10 +68,14 @@ impl CraneFom {
             "ScenarioState",
             &["phase", "score", "elapsed", "complete", "passed", "bar_hits"],
         )?;
-        let collision = registry
-            .register_interaction_class("CollisionEvent", &["location", "impulse", "obstacle", "scored"])?;
-        let alarm = registry.register_interaction_class("AlarmEvent", &["code", "active", "message"])?;
-        let fault = registry.register_interaction_class("FaultInjection", &["instrument", "value"])?;
+        let collision = registry.register_interaction_class(
+            "CollisionEvent",
+            &["location", "impulse", "obstacle", "scored"],
+        )?;
+        let alarm =
+            registry.register_interaction_class("AlarmEvent", &["code", "active", "message"])?;
+        let fault =
+            registry.register_interaction_class("FaultInjection", &["instrument", "value"])?;
         let sync = FrameSyncFom::register(registry)?;
         Ok(CraneFom {
             crane_state,
@@ -100,7 +104,8 @@ fn put(
     name: &str,
     value: Value,
 ) {
-    let id = registry.attribute_id(class, name).unwrap_or_else(|| panic!("attribute {name} declared"));
+    let id =
+        registry.attribute_id(class, name).unwrap_or_else(|| panic!("attribute {name} declared"));
     values.insert(id, value);
 }
 
@@ -111,7 +116,8 @@ fn put_param(
     name: &str,
     value: Value,
 ) {
-    let id = registry.parameter_id(class, name).unwrap_or_else(|| panic!("parameter {name} declared"));
+    let id =
+        registry.parameter_id(class, name).unwrap_or_else(|| panic!("parameter {name} declared"));
     values.insert(id, value);
 }
 
@@ -193,7 +199,11 @@ impl CraneStateMsg {
     }
 
     /// Decodes from attribute values (missing attributes default to zero).
-    pub fn from_values(registry: &ClassRegistry, fom: &CraneFom, values: &AttributeValues) -> CraneStateMsg {
+    pub fn from_values(
+        registry: &ClassRegistry,
+        fom: &CraneFom,
+        values: &AttributeValues,
+    ) -> CraneStateMsg {
         let c = fom.crane_state;
         CraneStateMsg {
             chassis_position: vec3_of(get(registry, c, values, "chassis_position")),
@@ -237,7 +247,11 @@ impl HookStateMsg {
     }
 
     /// Decodes from attribute values.
-    pub fn from_values(registry: &ClassRegistry, fom: &CraneFom, values: &AttributeValues) -> HookStateMsg {
+    pub fn from_values(
+        registry: &ClassRegistry,
+        fom: &CraneFom,
+        values: &AttributeValues,
+    ) -> HookStateMsg {
         let c = fom.hook_state;
         HookStateMsg {
             hook_position: vec3_of(get(registry, c, values, "hook_position")),
@@ -363,7 +377,11 @@ impl CollisionMsg {
     }
 
     /// Decodes from interaction parameters.
-    pub fn from_values(registry: &ClassRegistry, fom: &CraneFom, values: &AttributeValues) -> CollisionMsg {
+    pub fn from_values(
+        registry: &ClassRegistry,
+        fom: &CraneFom,
+        values: &AttributeValues,
+    ) -> CollisionMsg {
         let c = fom.collision;
         CollisionMsg {
             location: vec3_of(get_param(registry, c, values, "location")),
@@ -406,7 +424,11 @@ impl AlarmMsg {
     }
 
     /// Decodes from interaction parameters.
-    pub fn from_values(registry: &ClassRegistry, fom: &CraneFom, values: &AttributeValues) -> AlarmMsg {
+    pub fn from_values(
+        registry: &ClassRegistry,
+        fom: &CraneFom,
+        values: &AttributeValues,
+    ) -> AlarmMsg {
         let c = fom.alarm;
         AlarmMsg {
             code: u32_of(get_param(registry, c, values, "code")),
@@ -436,7 +458,11 @@ impl FaultMsg {
     }
 
     /// Decodes from interaction parameters.
-    pub fn from_values(registry: &ClassRegistry, fom: &CraneFom, values: &AttributeValues) -> FaultMsg {
+    pub fn from_values(
+        registry: &ClassRegistry,
+        fom: &CraneFom,
+        values: &AttributeValues,
+    ) -> FaultMsg {
         let c = fom.fault;
         FaultMsg {
             instrument: text_of(get_param(registry, c, values, "instrument")),
@@ -490,9 +516,18 @@ mod tests {
             cargo_attached: true,
             cargo_mass: 1500.0,
         };
-        assert_eq!(HookStateMsg::from_values(&registry, &fom, &hook.to_values(&registry, &fom)), hook);
+        assert_eq!(
+            HookStateMsg::from_values(&registry, &fom, &hook.to_values(&registry, &fom)),
+            hook
+        );
 
-        let input = OperatorInputMsg { steering: -0.3, throttle: 0.9, reverse: true, hoist: -0.5, ..Default::default() };
+        let input = OperatorInputMsg {
+            steering: -0.3,
+            throttle: 0.9,
+            reverse: true,
+            hoist: -0.5,
+            ..Default::default()
+        };
         assert_eq!(
             OperatorInputMsg::from_values(&registry, &fom, &input.to_values(&registry, &fom)),
             input
@@ -511,17 +546,29 @@ mod tests {
             scenario
         );
 
-        let collision = CollisionMsg { location: Vec3::unit_x(), impulse: 3.0, obstacle: "bar-1".into(), scored: true };
+        let collision = CollisionMsg {
+            location: Vec3::unit_x(),
+            impulse: 3.0,
+            obstacle: "bar-1".into(),
+            scored: true,
+        };
         assert_eq!(
             CollisionMsg::from_values(&registry, &fom, &collision.to_values(&registry, &fom)),
             collision
         );
 
-        let alarm = AlarmMsg { code: alarm_codes::OVERLOAD, active: true, message: "overload".into() };
-        assert_eq!(AlarmMsg::from_values(&registry, &fom, &alarm.to_values(&registry, &fom)), alarm);
+        let alarm =
+            AlarmMsg { code: alarm_codes::OVERLOAD, active: true, message: "overload".into() };
+        assert_eq!(
+            AlarmMsg::from_values(&registry, &fom, &alarm.to_values(&registry, &fom)),
+            alarm
+        );
 
         let fault = FaultMsg { instrument: "speedometer".into(), value: 55.0 };
-        assert_eq!(FaultMsg::from_values(&registry, &fom, &fault.to_values(&registry, &fom)), fault);
+        assert_eq!(
+            FaultMsg::from_values(&registry, &fom, &fault.to_values(&registry, &fom)),
+            fault
+        );
     }
 
     #[test]

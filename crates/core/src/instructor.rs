@@ -130,9 +130,11 @@ impl LogicalProcess for InstructorLp {
     fn step(&mut self, cb: &mut dyn CbApi, dt: f64) -> Result<(), CbError> {
         for reflection in cb.reflections() {
             if reflection.class == self.fom.crane_state {
-                self.crane = CraneStateMsg::from_values(&self.registry, &self.fom, &reflection.values);
+                self.crane =
+                    CraneStateMsg::from_values(&self.registry, &self.fom, &reflection.values);
             } else if reflection.class == self.fom.hook_state {
-                self.hook = HookStateMsg::from_values(&self.registry, &self.fom, &reflection.values);
+                self.hook =
+                    HookStateMsg::from_values(&self.registry, &self.fom, &reflection.values);
             } else if reflection.class == self.fom.scenario_state {
                 self.scenario =
                     ScenarioStateMsg::from_values(&self.registry, &self.fom, &reflection.values);

@@ -68,14 +68,19 @@ impl LogicalProcess for MotionPlatformLp {
     fn step(&mut self, cb: &mut dyn CbApi, dt: f64) -> Result<(), CbError> {
         for reflection in cb.reflections() {
             if reflection.class == self.fom.crane_state {
-                self.crane = CraneStateMsg::from_values(&self.registry, &self.fom, &reflection.values);
+                self.crane =
+                    CraneStateMsg::from_values(&self.registry, &self.fom, &reflection.values);
             }
         }
 
         // Derive body-frame cues from the reflected state.
-        let forward_accel = if dt > 0.0 { (self.crane.speed - self.previous_speed) / dt } else { 0.0 };
-        let yaw_rate =
-            if dt > 0.0 { sim_math::wrap_to_pi(self.crane.chassis_yaw - self.previous_yaw) / dt } else { 0.0 };
+        let forward_accel =
+            if dt > 0.0 { (self.crane.speed - self.previous_speed) / dt } else { 0.0 };
+        let yaw_rate = if dt > 0.0 {
+            sim_math::wrap_to_pi(self.crane.chassis_yaw - self.previous_yaw) / dt
+        } else {
+            0.0
+        };
         self.previous_speed = self.crane.speed;
         self.previous_yaw = self.crane.chassis_yaw;
 
@@ -117,10 +122,7 @@ mod tests {
         let mut cluster = Cluster::new(ClusterConfig::default(), registry.clone());
         let pc = cluster.add_computer("motion-pc");
         cluster
-            .add_lp(
-                pc,
-                Box::new(MotionPlatformLp::new(registry, fom, 16.0, 1, telemetry.clone())),
-            )
+            .add_lp(pc, Box::new(MotionPlatformLp::new(registry, fom, 16.0, 1, telemetry.clone())))
             .unwrap();
         cluster.initialize().unwrap();
         cluster.run_frames(20).unwrap();

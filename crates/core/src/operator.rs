@@ -90,7 +90,12 @@ impl ExamOperator {
         self.waypoint_index
     }
 
-    fn drive_toward(&mut self, target: Vec3, observation: &Observation, slow_down: bool) -> OperatorInputMsg {
+    fn drive_toward(
+        &mut self,
+        target: Vec3,
+        observation: &Observation,
+        slow_down: bool,
+    ) -> OperatorInputMsg {
         let crane = &observation.crane;
         let to_target = target - crane.chassis_position;
         let distance = to_target.horizontal().length();
@@ -109,7 +114,12 @@ impl ExamOperator {
         }
     }
 
-    fn boom_toward(&self, target: Vec3, observation: &Observation, target_hook_height: f64) -> OperatorInputMsg {
+    fn boom_toward(
+        &self,
+        target: Vec3,
+        observation: &Observation,
+        target_hook_height: f64,
+    ) -> OperatorInputMsg {
         let crane = &observation.crane;
         let hook = &observation.hook;
         // Desired slew: at slew 0 the boom points along the chassis -Z axis, so
@@ -152,18 +162,17 @@ impl Operator for ExamOperator {
                 let waypoints = &self.course.driving_waypoints;
                 if self.waypoint_index < waypoints.len() {
                     let target = waypoints[self.waypoint_index];
-                    let distance = (target - observation.crane.chassis_position).horizontal().length();
+                    let distance =
+                        (target - observation.crane.chassis_position).horizontal().length();
                     if distance < 4.0 {
                         self.waypoint_index += 1;
                     }
                 }
                 let last = self.waypoint_index + 1 >= self.course.driving_waypoints.len();
-                let target = self
-                    .course
-                    .driving_waypoints
-                    .get(self.waypoint_index)
-                    .copied()
-                    .unwrap_or(*self.course.driving_waypoints.last().expect("course has waypoints"));
+                let target =
+                    self.course.driving_waypoints.get(self.waypoint_index).copied().unwrap_or(
+                        *self.course.driving_waypoints.last().expect("course has waypoints"),
+                    );
                 self.drive_toward(target, observation, last)
             }
             "Lifting" => {
@@ -176,10 +185,14 @@ impl Operator for ExamOperator {
                 };
                 self.boom_toward(self.course.pickup_center, observation, target_height)
             }
-            "Traverse" => {
-                self.boom_toward(self.course.turnaround_center, observation, self.course.carry_height)
+            "Traverse" => self.boom_toward(
+                self.course.turnaround_center,
+                observation,
+                self.course.carry_height,
+            ),
+            "Return" => {
+                self.boom_toward(self.course.pickup_center, observation, self.course.carry_height)
             }
-            "Return" => self.boom_toward(self.course.pickup_center, observation, self.course.carry_height),
             _ => OperatorInputMsg { brake: 1.0, ..Default::default() },
         }
     }

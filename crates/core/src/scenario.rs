@@ -144,9 +144,11 @@ impl LogicalProcess for ScenarioLp {
         self.elapsed += dt;
         for reflection in cb.reflections() {
             if reflection.class == self.fom.crane_state {
-                self.crane = CraneStateMsg::from_values(&self.registry, &self.fom, &reflection.values);
+                self.crane =
+                    CraneStateMsg::from_values(&self.registry, &self.fom, &reflection.values);
             } else if reflection.class == self.fom.hook_state {
-                self.hook = HookStateMsg::from_values(&self.registry, &self.fom, &reflection.values);
+                self.hook =
+                    HookStateMsg::from_values(&self.registry, &self.fom, &reflection.values);
             }
         }
         for interaction in cb.interactions() {

@@ -117,13 +117,19 @@ impl CraneSimulator {
         }
         // The fourth computer: the synchronization server.
         let sync_pc = cluster.add_computer("sync-server");
-        cluster.add_lp(sync_pc, Box::new(FrameSyncServer::new(fom.sync, config.display_channels)))?;
+        cluster
+            .add_lp(sync_pc, Box::new(FrameSyncServer::new(fom.sync, config.display_channels)))?;
 
         // The remaining computers host the other modules.
         let dynamics_pc = cluster.add_computer("dynamics-pc");
         cluster.add_lp(
             dynamics_pc,
-            Box::new(DynamicsLp::new(registry.clone(), fom, config.cargo_mass_kg, telemetry.clone())),
+            Box::new(DynamicsLp::new(
+                registry.clone(),
+                fom,
+                config.cargo_mass_kg,
+                telemetry.clone(),
+            )),
         )?;
 
         let control_pc = cluster.add_computer("control-pc");
@@ -132,13 +138,19 @@ impl CraneSimulator {
             control_pc,
             Box::new(DashboardLp::new(registry.clone(), fom, operator, telemetry.clone())),
         )?;
-        cluster.add_lp(control_pc, Box::new(ScenarioLp::new(registry.clone(), fom, telemetry.clone())))?;
+        cluster.add_lp(
+            control_pc,
+            Box::new(ScenarioLp::new(registry.clone(), fom, telemetry.clone())),
+        )?;
 
         let instructor_pc = cluster.add_computer("instructor-pc");
         let (instructor, fault_injector) =
             InstructorLp::new(registry.clone(), fom, telemetry.clone());
         cluster.add_lp(instructor_pc, Box::new(instructor))?;
-        cluster.add_lp(instructor_pc, Box::new(AudioLp::new(registry.clone(), fom, telemetry.clone())))?;
+        cluster.add_lp(
+            instructor_pc,
+            Box::new(AudioLp::new(registry.clone(), fom, telemetry.clone())),
+        )?;
 
         let motion_pc = cluster.add_computer("motion-pc");
         cluster.add_lp(

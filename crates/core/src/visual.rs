@@ -133,7 +133,12 @@ impl VisualDisplayLp {
             Some(renderer) => {
                 let camera = {
                     let eye = self.crane.chassis_position + Vec3::new(0.0, 3.2, 1.5);
-                    Camera { position: eye, yaw: self.crane.chassis_yaw + self.yaw_offset, pitch: -0.05, ..Camera::default() }
+                    Camera {
+                        position: eye,
+                        yaw: self.crane.chassis_yaw + self.yaw_offset,
+                        pitch: -0.05,
+                        ..Camera::default()
+                    }
                 };
                 let stats = renderer.render(&self.world.scene, &camera);
                 stats.frame_time(&self.cost_model)
@@ -164,9 +169,11 @@ impl LogicalProcess for VisualDisplayLp {
     fn step(&mut self, cb: &mut dyn CbApi, _dt: f64) -> Result<(), CbError> {
         for reflection in cb.reflections() {
             if reflection.class == self.fom.crane_state {
-                self.crane = CraneStateMsg::from_values(&self.registry, &self.fom, &reflection.values);
+                self.crane =
+                    CraneStateMsg::from_values(&self.registry, &self.fom, &reflection.values);
             } else if reflection.class == self.fom.hook_state {
-                self.hook = HookStateMsg::from_values(&self.registry, &self.fom, &reflection.values);
+                self.hook =
+                    HookStateMsg::from_values(&self.registry, &self.fom, &reflection.values);
             }
         }
 

@@ -106,7 +106,8 @@ mod tests {
 
     #[test]
     fn large_objects_span_multiple_cells() {
-        let big = Aabb::from_center_half_extents(Vec3::new(0.0, 0.0, 0.0), Vec3::new(25.0, 1.0, 25.0));
+        let big =
+            Aabb::from_center_half_extents(Vec3::new(0.0, 0.0, 0.0), Vec3::new(25.0, 1.0, 25.0));
         let grid = SpatialGrid::build(10.0, &[big]);
         assert!(grid.occupied_cells() >= 25);
         let probe = Aabb::from_center_half_extents(Vec3::new(20.0, 0.0, -20.0), Vec3::splat(1.0));

@@ -281,10 +281,8 @@ fn box_box_contact(a: &Aabb, b: &Aabb) -> Option<(Vec3, Vec3, f64)> {
         (overlap.y, Vec3::new(0.0, delta.y.signum(), 0.0)),
         (overlap.z, Vec3::new(0.0, 0.0, delta.z.signum())),
     ];
-    let (depth, normal) = axes
-        .into_iter()
-        .min_by(|x, y| x.0.partial_cmp(&y.0).expect("finite"))
-        .expect("three axes");
+    let (depth, normal) =
+        axes.into_iter().min_by(|x, y| x.0.partial_cmp(&y.0).expect("finite")).expect("three axes");
     let point = b.closest_point(a.center());
     Some((point, normal.normalized_or(Vec3::unit_y()), depth))
 }
@@ -343,7 +341,8 @@ mod tests {
             Vec3::new(0.0, 10.0, 0.0),
         ] {
             let fast: Vec<usize> = w.query_sphere(p, 0.6).iter().map(|c| c.obstacle).collect();
-            let naive: Vec<usize> = w.query_sphere_naive(p, 0.6).iter().map(|c| c.obstacle).collect();
+            let naive: Vec<usize> =
+                w.query_sphere_naive(p, 0.6).iter().map(|c| c.obstacle).collect();
             assert_eq!(fast, naive, "disagreement at {p:?}");
         }
     }
@@ -381,7 +380,9 @@ mod tests {
             without.add_static(&format!("o{i}"), aabb, false);
         }
         with_grid.build_grid(10.0);
-        for p in [Vec3::new(12.0, 1.0, 17.0), Vec3::new(50.0, 1.0, 22.0), Vec3::new(-5.0, 1.0, -5.0)] {
+        for p in
+            [Vec3::new(12.0, 1.0, 17.0), Vec3::new(50.0, 1.0, 22.0), Vec3::new(-5.0, 1.0, -5.0)]
+        {
             let a: Vec<usize> = with_grid.query_sphere(p, 1.2).iter().map(|c| c.obstacle).collect();
             let b: Vec<usize> = without.query_sphere(p, 1.2).iter().map(|c| c.obstacle).collect();
             assert_eq!(a, b);
@@ -392,14 +393,13 @@ mod tests {
     #[test]
     fn box_query_detects_cargo_bar_overlap() {
         let mut w = bar_world();
-        let cargo = Aabb::from_center_half_extents(Vec3::new(0.0, 2.0, 0.0), Vec3::new(0.8, 0.6, 0.8));
+        let cargo =
+            Aabb::from_center_half_extents(Vec3::new(0.0, 2.0, 0.0), Vec3::new(0.8, 0.6, 0.8));
         let contacts = w.query_aabb(cargo);
         assert_eq!(contacts.len(), 1);
         assert!(contacts[0].depth > 0.0);
-        let clear = w.query_aabb(Aabb::from_center_half_extents(
-            Vec3::new(0.0, 8.0, 0.0),
-            Vec3::splat(0.5),
-        ));
+        let clear = w
+            .query_aabb(Aabb::from_center_half_extents(Vec3::new(0.0, 8.0, 0.0), Vec3::splat(0.5)));
         assert!(clear.is_empty());
     }
 

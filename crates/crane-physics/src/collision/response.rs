@@ -44,11 +44,7 @@ pub fn resolve_contact(
         return Resolution { position: corrected_position, velocity, impulse: 0.0 };
     }
     let impulse = -(1.0 + restitution) * normal_speed;
-    Resolution {
-        position: corrected_position,
-        velocity: velocity + normal * impulse,
-        impulse,
-    }
+    Resolution { position: corrected_position, velocity: velocity + normal * impulse, impulse }
 }
 
 #[cfg(test)]

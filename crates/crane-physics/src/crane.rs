@@ -89,7 +89,12 @@ pub struct CraneState {
 
 impl Default for CraneState {
     fn default() -> Self {
-        CraneState { slew_angle: 0.0, luff_angle: 45f64.to_radians(), boom_length: 12.0, cable_length: 6.0 }
+        CraneState {
+            slew_angle: 0.0,
+            luff_angle: 45f64.to_radians(),
+            boom_length: 12.0,
+            cable_length: 6.0,
+        }
     }
 }
 
@@ -154,11 +159,8 @@ impl CraneRig {
 
     /// Position of the boom tip in chassis space.
     pub fn boom_tip(&self) -> Vec3 {
-        let along = Vec3::new(
-            0.0,
-            self.state.luff_angle.sin(),
-            -self.state.luff_angle.cos(),
-        ) * self.state.boom_length;
+        let along = Vec3::new(0.0, self.state.luff_angle.sin(), -self.state.luff_angle.cos())
+            * self.state.boom_length;
         self.pivot_offset + self.superstructure_rotation().rotate(along)
     }
 
@@ -211,7 +213,9 @@ mod tests {
         let start = rig.state;
         // Full-up luff command for one second.
         rig.step(CraneControls { luff: 1.0, ..Default::default() }, 1.0);
-        assert!((rig.state.luff_angle - (start.luff_angle + rig.limits.max_luff_rate)).abs() < 1e-9);
+        assert!(
+            (rig.state.luff_angle - (start.luff_angle + rig.limits.max_luff_rate)).abs() < 1e-9
+        );
         // Saturate at the maximum.
         for _ in 0..1000 {
             rig.step(CraneControls { luff: 1.0, ..Default::default() }, 0.1);
@@ -257,7 +261,11 @@ mod tests {
         rig.state.slew_angle = std::f64::consts::FRAC_PI_2;
         let after = rig.boom_tip();
         assert!((before.y - after.y).abs() < 1e-9, "slew must not change tip height");
-        assert!((before - rig.pivot_offset).horizontal().length() - (after - rig.pivot_offset).horizontal().length() < 1e-9);
+        assert!(
+            (before - rig.pivot_offset).horizontal().length()
+                - (after - rig.pivot_offset).horizontal().length()
+                < 1e-9
+        );
         assert!(before.horizontal().distance(after.horizontal()) > 1.0);
     }
 

@@ -28,7 +28,7 @@ pub mod vehicle;
 pub use collision::{CollisionWorld, Contact, DetectionLevel};
 pub use crane::{CraneControls, CraneLimits, CraneRig, CraneState};
 pub use pendulum::CablePendulum;
-pub use stability::{StabilityReport, StabilityModel};
+pub use stability::{StabilityModel, StabilityReport};
 pub use terrain::{FlatTerrain, FnTerrain, Terrain};
 pub use vehicle::{CraneVehicle, DriveControls, VehicleParams};
 

@@ -134,7 +134,8 @@ impl CablePendulum {
     pub fn energy(&self, suspension: Vec3) -> f64 {
         let m = self.total_mass();
         0.5 * m * self.velocity.length_squared()
-            + m * GRAVITY * (self.position.y - (suspension.y - (self.position - suspension).length()))
+            + m * GRAVITY
+                * (self.position.y - (suspension.y - (self.position - suspension).length()))
     }
 
     /// The tension currently carried by the cable (newtons, zero when slack).

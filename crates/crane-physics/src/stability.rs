@@ -58,25 +58,18 @@ impl StabilityModel {
     /// (terrain side slope).
     pub fn evaluate(&self, load_mass: f64, working_radius: f64, roll: f64) -> StabilityReport {
         let load_moment = load_mass * GRAVITY * working_radius.max(0.0);
-        let moment_utilization = if self.rated_moment > 0.0 {
-            load_moment / self.rated_moment
-        } else {
-            f64::INFINITY
-        };
+        let moment_utilization =
+            if self.rated_moment > 0.0 { load_moment / self.rated_moment } else { f64::INFINITY };
 
         // Tipping about the edge of the support base. A side slope both shifts
         // the crane's own CG toward the edge and adds to the load's lever arm.
         let cg_shift = self.cg_height * roll.sin().abs();
         let effective_arm = (self.support_half_width - cg_shift).max(0.0);
         let restoring_moment = self.crane_mass * GRAVITY * effective_arm;
-        let overturning = load_mass
-            * GRAVITY
-            * ((working_radius - self.support_half_width).max(0.0) + cg_shift);
-        let tipping_ratio = if restoring_moment > 0.0 {
-            overturning / restoring_moment
-        } else {
-            f64::INFINITY
-        };
+        let overturning =
+            load_mass * GRAVITY * ((working_radius - self.support_half_width).max(0.0) + cg_shift);
+        let tipping_ratio =
+            if restoring_moment > 0.0 { overturning / restoring_moment } else { f64::INFINITY };
 
         StabilityReport {
             load_moment,

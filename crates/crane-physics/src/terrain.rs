@@ -12,8 +12,7 @@ pub trait Terrain: Send + Sync {
         let eps = 0.25;
         let dx = self.height(x + eps, z) - self.height(x - eps, z);
         let dz = self.height(x, z + eps) - self.height(x, z - eps);
-        Vec3::new(-dx / (2.0 * eps), 1.0, -dz / (2.0 * eps))
-            .normalized_or(Vec3::unit_y())
+        Vec3::new(-dx / (2.0 * eps), 1.0, -dz / (2.0 * eps)).normalized_or(Vec3::unit_y())
     }
 
     /// Grade (slope magnitude, rise over run) at `(x, z)`.
@@ -100,10 +99,8 @@ mod tests {
 
     #[test]
     fn terrain_is_object_safe() {
-        let terrains: Vec<Box<dyn Terrain>> = vec![
-            Box::new(FlatTerrain::default()),
-            Box::new(FnTerrain::new(|x, z| x + z)),
-        ];
+        let terrains: Vec<Box<dyn Terrain>> =
+            vec![Box::new(FlatTerrain::default()), Box::new(FnTerrain::new(|x, z| x + z))];
         assert_eq!(terrains.len(), 2);
     }
 }

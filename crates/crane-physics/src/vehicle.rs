@@ -108,23 +108,22 @@ impl CraneVehicle {
             0.0
         };
         let drag = -self.speed * self.speed.abs() * p.drag;
-        let rolling = if self.speed.abs() > 1e-3 {
-            -self.speed.signum() * p.rolling_resistance
-        } else {
-            0.0
-        };
+        let rolling =
+            if self.speed.abs() > 1e-3 { -self.speed.signum() * p.rolling_resistance } else { 0.0 };
         // Grade resistance: gravity component along the direction of travel.
         // The terrain normal tilts away from the uphill direction, so its
         // horizontal part dotted with the forward vector is negative when
         // climbing — which is exactly the sign the resisting force needs.
         let grade = terrain.normal(self.position.x, self.position.z);
-        let slope_along = self.forward().dot(Vec3::new(grade.x, 0.0, grade.z)) * crate::GRAVITY * p.mass;
+        let slope_along =
+            self.forward().dot(Vec3::new(grade.x, 0.0, grade.z)) * crate::GRAVITY * p.mass;
 
         let force = drive + brake + drag + rolling + slope_along;
         let accel = force / p.mass;
         let new_speed = self.speed + accel * dt;
         // Braking never reverses the direction of travel by itself.
-        self.speed = if c.throttle < 1e-6 && new_speed * self.speed < 0.0 { 0.0 } else { new_speed };
+        self.speed =
+            if c.throttle < 1e-6 && new_speed * self.speed < 0.0 { 0.0 } else { new_speed };
         self.speed = clamp(self.speed, -p.max_speed * 0.4, p.max_speed);
 
         // Bicycle-model yaw rate.
@@ -205,7 +204,11 @@ mod tests {
         let terrain = FlatTerrain::default();
         let mut v = CraneVehicle::new(VehicleParams::default(), Vec3::ZERO, 0.0);
         for _ in 0..600 {
-            v.step(DriveControls { throttle: 0.6, steering: 1.0, ..Default::default() }, &terrain, DT);
+            v.step(
+                DriveControls { throttle: 0.6, steering: 1.0, ..Default::default() },
+                &terrain,
+                DT,
+            );
         }
         assert!(v.heading.abs() > 0.3, "heading barely changed: {}", v.heading);
     }

@@ -208,7 +208,8 @@ mod tests {
 
     #[test]
     fn bar_distance() {
-        let bar = Bar { from: Vec3::new(-1.0, 2.0, 0.0), to: Vec3::new(1.0, 2.0, 0.0), thickness: 0.2 };
+        let bar =
+            Bar { from: Vec3::new(-1.0, 2.0, 0.0), to: Vec3::new(1.0, 2.0, 0.0), thickness: 0.2 };
         assert!((bar.distance_to(Vec3::new(0.0, 2.0, 0.0))).abs() < 1e-12);
         assert!((bar.distance_to(Vec3::new(0.0, 4.0, 0.0)) - 2.0).abs() < 1e-12);
         assert!((bar.distance_to(Vec3::new(3.0, 2.0, 0.0)) - 2.0).abs() < 1e-12);

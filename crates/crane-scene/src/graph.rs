@@ -75,13 +75,7 @@ impl SceneGraph {
             assert!(m < self.meshes.len(), "unknown mesh index");
         }
         let id = NodeId(self.nodes.len());
-        self.nodes.push(Node {
-            name: name.to_owned(),
-            local,
-            mesh,
-            parent,
-            children: Vec::new(),
-        });
+        self.nodes.push(Node { name: name.to_owned(), local, mesh, parent, children: Vec::new() });
         if let Some(p) = parent {
             self.nodes[p.0].children.push(id);
         }
@@ -153,9 +147,7 @@ impl SceneGraph {
     pub fn instance_aabb(&self, node: NodeId) -> Option<Aabb> {
         let mesh_index = self.nodes[node.0].mesh?;
         let world = self.world_transform(node);
-        Some(Aabb::from_points(
-            self.meshes[mesh_index].vertices.iter().map(|v| world.apply(*v)),
-        ))
+        Some(Aabb::from_points(self.meshes[mesh_index].vertices.iter().map(|v| world.apply(*v))))
     }
 
     /// World-space bounding box of the whole scene.

@@ -62,7 +62,8 @@ mod tests {
 
     #[test]
     fn heights_follow_function() {
-        let m = heightfield_mesh(0.0, 0.0, 20.0, 20.0, 10, 10, Color::GROUND, |x, z| 0.1 * x + 0.2 * z);
+        let m =
+            heightfield_mesh(0.0, 0.0, 20.0, 20.0, 10, 10, Color::GROUND, |x, z| 0.1 * x + 0.2 * z);
         for v in &m.vertices {
             assert!((v.y - (0.1 * v.x + 0.2 * v.z)).abs() < 1e-12);
         }

@@ -115,7 +115,8 @@ impl TrainingWorld {
             (Vec3::new(40.0, 0.0, -45.0), Vec3::new(20.0, 10.0, 12.0)),
         ];
         for (i, (pos, size)) in building_positions.iter().enumerate() {
-            let mesh = cuboid(Vec3::new(0.0, size.y / 2.0, 0.0), *size, Color::CONCRETE.scaled(0.9));
+            let mesh =
+                cuboid(Vec3::new(0.0, size.y / 2.0, 0.0), *size, Color::CONCRETE.scaled(0.9));
             let mesh_index = scene.add_mesh(mesh);
             let node = scene.add_node(
                 &format!("building-{i}"),
@@ -173,7 +174,8 @@ impl TrainingWorld {
             ("pickup-zone", course.pickup_center, course.pickup_radius),
             ("turnaround-zone", course.turnaround_center, course.turnaround_radius),
         ] {
-            let ring = cylinder(Vec3::new(0.0, 0.05, 0.0), radius, 0.1, 24, Color::new(240, 240, 240));
+            let ring =
+                cylinder(Vec3::new(0.0, 0.05, 0.0), radius, 0.1, 24, Color::new(240, 240, 240));
             let mesh_index = scene.add_mesh(ring);
             scene.add_node(name, None, Transform::from_translation(center), Some(mesh_index));
         }
@@ -220,9 +222,10 @@ impl TrainingWorld {
         );
 
         // Wheels.
-        for (i, (dx, dz)) in [(-1.2, 2.4), (1.2, 2.4), (-1.2, -2.4), (1.2, -2.4), (-1.2, 0.0), (1.2, 0.0)]
-            .iter()
-            .enumerate()
+        for (i, (dx, dz)) in
+            [(-1.2, 2.4), (1.2, 2.4), (-1.2, -2.4), (1.2, -2.4), (-1.2, 0.0), (1.2, 0.0)]
+                .iter()
+                .enumerate()
         {
             let wheel = cylinder(Vec3::ZERO, 0.6, 0.4, 10, Color::new(30, 30, 30));
             let mesh_index = scene.add_mesh(wheel);

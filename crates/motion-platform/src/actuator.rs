@@ -41,7 +41,11 @@ pub struct Actuator {
 impl Actuator {
     /// Creates an actuator at the given initial length, clamped into the stroke.
     pub fn new(limits: ActuatorLimits, length: f64) -> Actuator {
-        Actuator { limits, length: length.clamp(limits.min_length, limits.max_length), saturated: false }
+        Actuator {
+            limits,
+            length: length.clamp(limits.min_length, limits.max_length),
+            saturated: false,
+        }
     }
 
     /// Drives the actuator toward `target` for `dt` seconds, respecting the
@@ -49,7 +53,8 @@ impl Actuator {
     pub fn drive_toward(&mut self, target: f64, dt: f64) -> f64 {
         let clamped_target = target.clamp(self.limits.min_length, self.limits.max_length);
         let reachable = move_toward(self.length, clamped_target, self.limits.max_rate * dt);
-        self.saturated = (clamped_target - target).abs() > 1e-9 || (reachable - clamped_target).abs() > 1e-9;
+        self.saturated =
+            (clamped_target - target).abs() > 1e-9 || (reachable - clamped_target).abs() > 1e-9;
         self.length = reachable;
         self.length
     }

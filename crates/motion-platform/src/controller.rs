@@ -161,7 +161,11 @@ mod tests {
         let mut c = MotionController::new(16.0, 3);
         for i in 0..128 {
             c.push_cue(MotionCue {
-                acceleration: Vec3::new(((i % 7) as f64 - 3.0) * 20.0, 10.0, ((i % 5) as f64 - 2.0) * 20.0),
+                acceleration: Vec3::new(
+                    ((i % 7) as f64 - 3.0) * 20.0,
+                    10.0,
+                    ((i % 5) as f64 - 2.0) * 20.0,
+                ),
                 pitch: 0.5,
                 roll: -0.5,
                 yaw_rate: 2.0,

@@ -55,7 +55,12 @@ impl StewartGeometry {
     /// # Panics
     ///
     /// Panics if a radius or the neutral height is not positive.
-    pub fn symmetric(base_radius: f64, platform_radius: f64, neutral_height: f64, half_angle: f64) -> StewartGeometry {
+    pub fn symmetric(
+        base_radius: f64,
+        platform_radius: f64,
+        neutral_height: f64,
+        half_angle: f64,
+    ) -> StewartGeometry {
         assert!(base_radius > 0.0 && platform_radius > 0.0 && neutral_height > 0.0);
         let mut base_joints = [Vec3::ZERO; 6];
         let mut platform_joints = [Vec3::ZERO; 6];

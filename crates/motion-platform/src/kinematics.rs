@@ -21,7 +21,10 @@ pub fn inverse_kinematics(geometry: &StewartGeometry, pose: &PlatformPose) -> [f
 /// coordinate descent from the neutral pose, which is ample for the small
 /// excursions of a training platform. Returns the estimated pose and the final
 /// root-mean-square leg-length error in metres.
-pub fn forward_kinematics(geometry: &StewartGeometry, target_lengths: &[f64; 6]) -> (PlatformPose, f64) {
+pub fn forward_kinematics(
+    geometry: &StewartGeometry,
+    target_lengths: &[f64; 6],
+) -> (PlatformPose, f64) {
     let mut state = [0.0f64; 6]; // x, y, z, yaw, pitch, roll
     let mut step = 0.02;
     let mut error = rms_error(geometry, &state, target_lengths);
@@ -50,12 +53,7 @@ pub fn forward_kinematics(geometry: &StewartGeometry, target_lengths: &[f64; 6])
 }
 
 fn pose_from_state(state: &[f64; 6]) -> PlatformPose {
-    PlatformPose::from_euler(
-        Vec3::new(state[0], state[1], state[2]),
-        state[3],
-        state[4],
-        state[5],
-    )
+    PlatformPose::from_euler(Vec3::new(state[0], state[1], state[2]), state[3], state[4], state[5])
 }
 
 fn rms_error(geometry: &StewartGeometry, state: &[f64; 6], target: &[f64; 6]) -> f64 {

@@ -6,7 +6,7 @@
 //! realistically simulate this situation" (paper §3.4).
 
 use serde::{Deserialize, Serialize};
-use sim_math::{Vec3, ValueNoise};
+use sim_math::{ValueNoise, Vec3};
 
 use crate::geometry::PlatformPose;
 
@@ -24,7 +24,12 @@ pub struct VibrationGenerator {
 impl VibrationGenerator {
     /// Creates a generator with a deterministic seed.
     pub fn new(seed: u64) -> VibrationGenerator {
-        VibrationGenerator { noise: ValueNoise::new(seed), amplitude: 0.006, frequency: 13.0, time: 0.0 }
+        VibrationGenerator {
+            noise: ValueNoise::new(seed),
+            amplitude: 0.006,
+            frequency: 13.0,
+            time: 0.0,
+        }
     }
 
     /// Advances time by `dt` seconds and returns the vibration offset for an

@@ -74,10 +74,10 @@ impl WashoutFilter {
         // added to the terrain-following attitude of the vehicle itself.
         let sustained_x = self.lp_x.update(acceleration.x, dt);
         let sustained_z = self.lp_z.update(acceleration.z, dt);
-        let pitch = (vehicle_pitch + sustained_z * self.tilt_gain)
-            .clamp(-self.max_tilt, self.max_tilt);
-        let roll = (vehicle_roll - sustained_x * self.tilt_gain)
-            .clamp(-self.max_tilt, self.max_tilt);
+        let pitch =
+            (vehicle_pitch + sustained_z * self.tilt_gain).clamp(-self.max_tilt, self.max_tilt);
+        let roll =
+            (vehicle_roll - sustained_x * self.tilt_gain).clamp(-self.max_tilt, self.max_tilt);
         let yaw = self.hp_yaw.update(yaw_rate, dt) * 0.1;
 
         PlatformPose::from_euler(translation, yaw, pitch, roll)

@@ -40,12 +40,7 @@ impl Camera {
     /// A camera at `position` looking toward `target`.
     pub fn look_at(position: Vec3, target: Vec3) -> Camera {
         let dir = (target - position).normalized_or(Vec3::new(0.0, 0.0, 1.0));
-        Camera {
-            position,
-            yaw: dir.x.atan2(dir.z),
-            pitch: dir.y.asin(),
-            ..Camera::default()
-        }
+        Camera { position, yaw: dir.x.atan2(dir.z), pitch: dir.y.asin(), ..Camera::default() }
     }
 
     /// The forward (viewing) direction.

@@ -1,8 +1,8 @@
 //! The rendering pipeline: scene graph in, shaded framebuffer and statistics out.
 
+use cod_net::Micros;
 use crane_scene::graph::SceneGraph;
 use crane_scene::mesh::Color;
-use cod_net::Micros;
 use serde::{Deserialize, Serialize};
 use sim_math::Vec3;
 
@@ -64,7 +64,8 @@ impl Renderer {
 
     /// Renders the scene from `camera` and returns the frame statistics.
     pub fn render(&mut self, scene: &SceneGraph, camera: &Camera) -> RenderStats {
-        let mut stats = RenderStats { triangles_in_scene: scene.polygon_count(), ..Default::default() };
+        let mut stats =
+            RenderStats { triangles_in_scene: scene.polygon_count(), ..Default::default() };
         self.framebuffer.clear(self.background);
         let view_projection = camera.view_projection();
         let frustum = Frustum::from_view_projection(&view_projection);

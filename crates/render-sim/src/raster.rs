@@ -70,12 +70,16 @@ pub fn rasterize_triangle(
     let shade = color.scaled(0.35 + 0.65 * diffuse);
 
     // Bounding box of the triangle, clamped to the framebuffer.
-    let min_x = projected.iter().map(|p| p.0).fold(f64::INFINITY, f64::min).floor().max(0.0) as usize;
-    let max_x = projected.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max).ceil().min(width - 1.0)
-        as usize;
-    let min_y = projected.iter().map(|p| p.1).fold(f64::INFINITY, f64::min).floor().max(0.0) as usize;
-    let max_y = projected.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max).ceil().min(height - 1.0)
-        as usize;
+    let min_x =
+        projected.iter().map(|p| p.0).fold(f64::INFINITY, f64::min).floor().max(0.0) as usize;
+    let max_x =
+        projected.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max).ceil().min(width - 1.0)
+            as usize;
+    let min_y =
+        projected.iter().map(|p| p.1).fold(f64::INFINITY, f64::min).floor().max(0.0) as usize;
+    let max_y =
+        projected.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max).ceil().min(height - 1.0)
+            as usize;
     if min_x > max_x || min_y > max_y {
         return result;
     }
@@ -163,11 +167,8 @@ mod tests {
     fn triangle_behind_the_camera_is_rejected() {
         let mut fb = Framebuffer::new(64, 64);
         let cam = camera();
-        let tri = [
-            Vec3::new(-1.0, -1.0, -50.0),
-            Vec3::new(0.0, 1.0, -50.0),
-            Vec3::new(1.0, -1.0, -50.0),
-        ];
+        let tri =
+            [Vec3::new(-1.0, -1.0, -50.0), Vec3::new(0.0, 1.0, -50.0), Vec3::new(1.0, -1.0, -50.0)];
         let r = rasterize_triangle(
             &mut fb,
             &cam.view_projection(),
@@ -185,7 +186,14 @@ mod tests {
         let cam = camera();
         let vp = cam.view_projection();
         let far = facing_triangle().map(|v| v + Vec3::new(0.0, 0.0, 5.0));
-        rasterize_triangle(&mut fb, &vp, far, Vec3::new(0.0, 0.0, -1.0), Color::SAFETY_RED, Vec3::unit_y());
+        rasterize_triangle(
+            &mut fb,
+            &vp,
+            far,
+            Vec3::new(0.0, 0.0, -1.0),
+            Color::SAFETY_RED,
+            Vec3::unit_y(),
+        );
         rasterize_triangle(
             &mut fb,
             &vp,

@@ -111,8 +111,7 @@ impl SurroundView {
             channel_times.push(stats.frame_time(&self.cost_model));
             channels.push(stats);
         }
-        let free_running_period =
-            channel_times.iter().copied().max().unwrap_or(Micros::ZERO);
+        let free_running_period = channel_times.iter().copied().max().unwrap_or(Micros::ZERO);
         SurroundStats {
             channels,
             channel_times,

@@ -20,9 +20,7 @@ impl Default for Mat3 {
 impl Mat3 {
     /// The identity matrix.
     pub fn identity() -> Mat3 {
-        Mat3 {
-            cols: [Vec3::unit_x(), Vec3::unit_y(), Vec3::unit_z()],
-        }
+        Mat3 { cols: [Vec3::unit_x(), Vec3::unit_y(), Vec3::unit_z()] }
     }
 
     /// Builds a matrix from three column vectors.
@@ -33,31 +31,19 @@ impl Mat3 {
     /// Rotation about the X axis by `angle` radians.
     pub fn rotation_x(angle: f64) -> Mat3 {
         let (s, c) = angle.sin_cos();
-        Mat3::from_cols(
-            Vec3::new(1.0, 0.0, 0.0),
-            Vec3::new(0.0, c, s),
-            Vec3::new(0.0, -s, c),
-        )
+        Mat3::from_cols(Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, c, s), Vec3::new(0.0, -s, c))
     }
 
     /// Rotation about the Y axis by `angle` radians.
     pub fn rotation_y(angle: f64) -> Mat3 {
         let (s, c) = angle.sin_cos();
-        Mat3::from_cols(
-            Vec3::new(c, 0.0, -s),
-            Vec3::new(0.0, 1.0, 0.0),
-            Vec3::new(s, 0.0, c),
-        )
+        Mat3::from_cols(Vec3::new(c, 0.0, -s), Vec3::new(0.0, 1.0, 0.0), Vec3::new(s, 0.0, c))
     }
 
     /// Rotation about the Z axis by `angle` radians.
     pub fn rotation_z(angle: f64) -> Mat3 {
         let (s, c) = angle.sin_cos();
-        Mat3::from_cols(
-            Vec3::new(c, s, 0.0),
-            Vec3::new(-s, c, 0.0),
-            Vec3::new(0.0, 0.0, 1.0),
-        )
+        Mat3::from_cols(Vec3::new(c, s, 0.0), Vec3::new(-s, c, 0.0), Vec3::new(0.0, 0.0, 1.0))
     }
 
     /// Transposed matrix.

@@ -60,10 +60,7 @@ impl Transform {
     /// The inverse transform.
     pub fn inverse(&self) -> Transform {
         let inv_rot = self.rotation.conjugate();
-        Transform {
-            translation: inv_rot.rotate(-self.translation),
-            rotation: inv_rot,
-        }
+        Transform { translation: inv_rot.rotate(-self.translation), rotation: inv_rot }
     }
 
     /// Interpolates between two rigid transforms (lerp for translation, slerp
@@ -100,18 +97,17 @@ mod tests {
 
     #[test]
     fn inverse_undoes_transform() {
-        let t = Transform::new(
-            Vec3::new(1.0, 2.0, 3.0),
-            Quat::from_yaw_pitch_roll(0.3, -0.8, 1.2),
-        );
+        let t = Transform::new(Vec3::new(1.0, 2.0, 3.0), Quat::from_yaw_pitch_roll(0.3, -0.8, 1.2));
         let p = Vec3::new(-4.0, 5.0, 0.5);
         assert!(t.inverse().apply(t.apply(p)).distance(p) < 1e-9);
     }
 
     #[test]
     fn composition_matches_sequential_application() {
-        let a = Transform::new(Vec3::new(1.0, 0.0, 0.0), Quat::from_axis_angle(Vec3::unit_y(), 0.5));
-        let b = Transform::new(Vec3::new(0.0, 2.0, 0.0), Quat::from_axis_angle(Vec3::unit_x(), -0.3));
+        let a =
+            Transform::new(Vec3::new(1.0, 0.0, 0.0), Quat::from_axis_angle(Vec3::unit_y(), 0.5));
+        let b =
+            Transform::new(Vec3::new(0.0, 2.0, 0.0), Quat::from_axis_angle(Vec3::unit_x(), -0.3));
         let p = Vec3::new(0.7, -1.1, 2.2);
         assert!(a.then(&b).apply(p).distance(a.apply(b.apply(p))) < 1e-9);
     }
@@ -119,7 +115,8 @@ mod tests {
     #[test]
     fn interpolation_endpoints() {
         let a = Transform::from_translation(Vec3::ZERO);
-        let b = Transform::new(Vec3::new(2.0, 0.0, 0.0), Quat::from_axis_angle(Vec3::unit_y(), 1.0));
+        let b =
+            Transform::new(Vec3::new(2.0, 0.0, 0.0), Quat::from_axis_angle(Vec3::unit_y(), 1.0));
         assert!(a.interpolate(&b, 0.0).translation.distance(a.translation) < 1e-12);
         assert!(a.interpolate(&b, 1.0).translation.distance(b.translation) < 1e-12);
         let mid = a.interpolate(&b, 0.5);
@@ -128,7 +125,8 @@ mod tests {
 
     #[test]
     fn to_mat4_matches_apply() {
-        let t = Transform::new(Vec3::new(3.0, -1.0, 2.0), Quat::from_yaw_pitch_roll(1.1, 0.2, -0.4));
+        let t =
+            Transform::new(Vec3::new(3.0, -1.0, 2.0), Quat::from_yaw_pitch_roll(1.1, 0.2, -0.4));
         let p = Vec3::new(0.5, 0.6, 0.7);
         assert!(t.to_mat4().transform_point(p).distance(t.apply(p)) < 1e-9);
     }

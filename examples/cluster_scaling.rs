@@ -26,8 +26,16 @@ fn main() {
     ];
     let model = PipelineModel::new(stages.clone(), Micros(200));
     println!("analytic pipeline model");
-    println!("  sequential (one PC) period : {}  ({:.1} fps)", model.sequential_period(), PipelineModel::fps(model.sequential_period()));
-    println!("  fully pipelined period     : {}  ({:.1} fps)", model.fully_pipelined_period(), PipelineModel::fps(model.fully_pipelined_period()));
+    println!(
+        "  sequential (one PC) period : {}  ({:.1} fps)",
+        model.sequential_period(),
+        PipelineModel::fps(model.sequential_period())
+    );
+    println!(
+        "  fully pipelined period     : {}  ({:.1} fps)",
+        model.fully_pipelined_period(),
+        PipelineModel::fps(model.fully_pipelined_period())
+    );
     println!("  throughput speedup         : {:.2}x", model.speedup());
 
     println!("\n  computers | frame period | fps  (load-balanced placement)");

@@ -13,7 +13,10 @@ fn main() {
         exam_frames: 400,
         ..SimulatorConfig::default()
     };
-    println!("building the COD mobile-crane simulator ({} display channels)...", config.display_channels);
+    println!(
+        "building the COD mobile-crane simulator ({} display channels)...",
+        config.display_channels
+    );
     let mut simulator = CraneSimulator::new(config).expect("simulator builds");
 
     println!("rack layout:");

@@ -41,7 +41,9 @@ fn main() {
         );
 
         if block == 3 {
-            println!("\n>>> instructor clicks the speedometer: fault injected (stuck at 88 km/h)\n");
+            println!(
+                "\n>>> instructor clicks the speedometer: fault injected (stuck at 88 km/h)\n"
+            );
             simulator
                 .fault_injector()
                 .inject(FaultMsg { instrument: "speedometer".into(), value: 88.0 });

@@ -52,9 +52,12 @@ fn distributed_cluster_beats_the_single_computer_baseline() {
     let mut simulator = CraneSimulator::new(base_config()).unwrap();
     simulator.run_frames(60).unwrap();
     let report = simulator.report();
-    assert!(report.cluster_fps > report.sequential_fps * 2.0,
+    assert!(
+        report.cluster_fps > report.sequential_fps * 2.0,
         "expected a clear pipelining speedup: cluster {} vs sequential {}",
-        report.cluster_fps, report.sequential_fps);
+        report.cluster_fps,
+        report.sequential_fps
+    );
 }
 
 #[test]

@@ -32,7 +32,8 @@ fn one_publisher_serves_many_subscriber_computers() {
 
     let mut subscribers: Vec<_> = (0..12)
         .map(|i| {
-            let mut kernel = CbKernel::new(SimLan::attach(&lan, &format!("display-{i}")), fom.clone());
+            let mut kernel =
+                CbKernel::new(SimLan::attach(&lan, &format!("display-{i}")), fom.clone());
             let lp = kernel.register_lp(&format!("display-{i}"));
             kernel.subscribe_object_class(lp, class).unwrap();
             (kernel, lp)

@@ -1,0 +1,204 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the API surface the `cod-bench` targets use — groups, throughput
+//! annotation, parameterised benches, `criterion_group!`/`criterion_main!` —
+//! backed by a simple wall-clock timer instead of criterion's statistical
+//! machinery. Each bench runs a short warm-up followed by a fixed number of
+//! timed samples and prints the mean time per iteration, so `cargo bench`
+//! still yields usable relative numbers for the paper's experiments.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Number of timed iterations per sample when none is configured.
+const DEFAULT_ITERS: u64 = 20;
+/// Warm-up iterations before timing starts.
+const WARMUP_ITERS: u64 = 3;
+
+/// Entry point handed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_iters: DEFAULT_ITERS,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().label, DEFAULT_ITERS, None, |b| f(b));
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_iters: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples (mapped to timed iterations here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_iters = (n as u64).max(1);
+        self
+    }
+
+    /// Sets the target measurement time; accepted and ignored by the stub.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declares the throughput of each iteration for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.sample_iters, self.throughput, |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.sample_iters, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark, optionally parameterised.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id made of a parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Per-iteration payload declaration, used to report rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timer handed to the measured closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it for the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(label: &str, iters: u64, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    let mut line = format!("{label:<40} {:>12.0} ns/iter", per_iter);
+    if let Some(tp) = throughput {
+        let per_sec = match tp {
+            Throughput::Bytes(n) => (n as f64) * 1e9 / per_iter.max(1.0),
+            Throughput::Elements(n) => (n as f64) * 1e9 / per_iter.max(1.0),
+        };
+        let unit = match tp {
+            Throughput::Bytes(_) => "B/s",
+            Throughput::Elements(_) => "elem/s",
+        };
+        let _ = write!(line, "   {per_sec:>14.0} {unit}");
+    }
+    println!("{line}");
+}
+
+/// Re-export of the standard black box, matching `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a group of benchmark functions as a single runnable target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The simulator only ever *derives* `Serialize`/`Deserialize` to mark state
+//! types as wire-safe; no serializer is instantiated anywhere in the
+//! workspace (the CB speaks its own hand-rolled codec, see `cod-cb::codec`).
+//! This stub therefore provides the two marker traits and re-exports the
+//! no-op derive macros, which is exactly the surface the codebase consumes.
+//! Swapping in the real crates.io `serde` is a one-line change in the root
+//! `Cargo.toml` once the build environment has network access.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

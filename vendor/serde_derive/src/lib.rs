@@ -1,0 +1,17 @@
+//! No-op derive macros for the offline `serde` stand-in.
+//!
+//! Nothing in the workspace calls a serializer, so the derives only need to
+//! exist for `#[derive(Serialize, Deserialize)]` attributes to compile; they
+//! expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,92 +1,12 @@
-//! Experiment E6 — pipelining on the COD versus a single desktop computer.
-//!
-//! Prints the analytic frame-rate table for 1–8 computers (load-balanced
-//! placement of the paper's seven modules plus the sync server) and benchmarks
-//! the wall-clock cost of executing frames on the full eight-computer
-//! simulator, measuring its modeled cluster vs sequential frame rates.
+//! Experiment E8 (`cluster_speedup`) — pipelining on the COD versus a single
+//! desktop computer; see `crates/cod-bench/EXPERIMENTS.md`. Thin wrapper
+//! over `cod_bench::experiments::cluster_speedup` so `cargo bench` and
+//! `bench_report` report identical statistics. Set `COD_BENCH_QUICK=1` for a
+//! smoke run.
 
-use cod_cluster::{balance_load, LpLoad, PipelineModel, StageCost};
-use cod_net::Micros;
-use crane_sim::{CraneSimulator, OperatorKind, SimulatorConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
+use cod_bench::experiments::{cluster_speedup, ExperimentCtx};
 
-fn module_costs() -> Vec<StageCost> {
-    vec![
-        StageCost::new("visual-0", Micros::from_millis(60)),
-        StageCost::new("visual-1", Micros::from_millis(60)),
-        StageCost::new("visual-2", Micros::from_millis(60)),
-        StageCost::new("sync-server", Micros(500)),
-        StageCost::new("dynamics", Micros::from_millis(15)),
-        StageCost::new("dashboard", Micros::from_millis(2)),
-        StageCost::new("scenario", Micros::from_millis(1)),
-        StageCost::new("instructor", Micros::from_millis(2)),
-        StageCost::new("audio", Micros::from_millis(3)),
-        StageCost::new("motion-platform", Micros::from_millis(6)),
-    ]
+fn main() {
+    let result = cluster_speedup::run(&ExperimentCtx::from_env());
+    println!("{}", result.summary());
 }
-
-fn print_reproduction_table() {
-    let stages = module_costs();
-    let model = PipelineModel::new(stages.clone(), Micros(200));
-    println!("\n=== E6: frame rate vs number of desktop computers (load-balanced) ===");
-    println!("computers | frame period | fps");
-    for computers in 1..=8usize {
-        let loads: Vec<LpLoad> = stages.iter().map(|s| LpLoad::new(&s.name, s.cost)).collect();
-        let placement = balance_load(&loads, computers);
-        println!(
-            "{computers:>9} | {:>12} | {:>5.1}",
-            placement.makespan,
-            1.0 / placement.makespan.as_secs_f64()
-        );
-    }
-    println!(
-        "pipeline speedup (8 PCs vs 1 PC): {:.2}x   end-to-end latency: {}",
-        model.speedup(),
-        model.pipeline_latency()
-    );
-
-    // Measured with the real executive.
-    let mut simulator = CraneSimulator::new(SimulatorConfig {
-        operator: OperatorKind::Idle,
-        exam_frames: 60,
-        display_width: 64,
-        display_height: 48,
-        ..SimulatorConfig::default()
-    })
-    .expect("simulator builds");
-    simulator.run().expect("session runs");
-    let report = simulator.report();
-    println!(
-        "measured: cluster {:.1} fps vs single PC {:.1} fps (speedup {:.2}x)\n",
-        report.cluster_fps,
-        report.sequential_fps,
-        report.cluster_fps / report.sequential_fps.max(1e-9)
-    );
-}
-
-fn bench_cluster(c: &mut Criterion) {
-    print_reproduction_table();
-
-    let mut group = c.benchmark_group("cluster");
-    group.sample_size(10);
-    group.bench_function("full_simulator_frame_8_computers", |b| {
-        let mut simulator = CraneSimulator::new(SimulatorConfig {
-            operator: OperatorKind::Exam,
-            exam_frames: 0,
-            display_width: 64,
-            display_height: 48,
-            ..SimulatorConfig::default()
-        })
-        .expect("simulator builds");
-        b.iter(|| simulator.run_frames(1).unwrap());
-    });
-    group.bench_function("load_balance_ten_modules_on_eight_computers", |b| {
-        let loads: Vec<LpLoad> =
-            module_costs().iter().map(|s| LpLoad::new(&s.name, s.cost)).collect();
-        b.iter(|| balance_load(&loads, 8));
-    });
-    group.finish();
-}
-
-criterion_group!(benches, bench_cluster);
-criterion_main!(benches);

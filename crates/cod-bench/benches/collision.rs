@@ -1,85 +1,11 @@
-//! Experiment E7 — the multi-level collision detection of §3.6.
-//!
-//! Compares the bounding-sphere → AABB → exact hierarchy (optionally with the
-//! uniform-grid broad phase) against the naive all-exact baseline as the
-//! obstacle count grows, and prints the per-level test counts.
+//! Experiment E3 (`collision`) — the multi-level collision detection of
+//! §3.6; see `crates/cod-bench/EXPERIMENTS.md`. Thin wrapper over
+//! `cod_bench::experiments::collision` so `cargo bench` and `bench_report`
+//! report identical statistics. Set `COD_BENCH_QUICK=1` for a smoke run.
 
-use crane_physics::collision::CollisionWorld;
-use crane_scene::bounds::Aabb;
-use crane_scene::world::TrainingWorld;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sim_math::Vec3;
+use cod_bench::experiments::{collision, ExperimentCtx};
 
-fn synthetic_world(obstacles: usize) -> CollisionWorld {
-    let mut world = CollisionWorld::new();
-    let per_row = (obstacles as f64).sqrt().ceil() as usize;
-    for i in 0..obstacles {
-        let x = (i % per_row) as f64 * 6.0;
-        let z = (i / per_row) as f64 * 6.0;
-        world.add_static(
-            &format!("obstacle-{i}"),
-            Aabb::from_center_half_extents(Vec3::new(x, 1.0, z), Vec3::new(1.0, 1.0, 1.0)),
-            i % 7 == 0,
-        );
-    }
-    world
+fn main() {
+    let result = collision::run(&ExperimentCtx::from_env());
+    println!("{}", result.summary());
 }
-
-fn print_reproduction_table() {
-    println!("\n=== E7: multi-level collision detection vs naive baseline ===");
-    println!("obstacles | exact tests (multi-level) | exact tests (naive) | reduction");
-    for obstacles in [10usize, 100, 500, 2_000, 5_000] {
-        let mut world = synthetic_world(obstacles);
-        world.build_grid(12.0);
-        world.reset_stats();
-        let probe = Vec3::new(30.0, 1.0, 30.0);
-        world.query_sphere(probe, 1.0);
-        let hierarchical = world.stats().exact_tests;
-        world.reset_stats();
-        world.query_sphere_naive(probe, 1.0);
-        let naive = world.stats().exact_tests;
-        println!(
-            "{obstacles:>9} | {hierarchical:>25} | {naive:>19} | {:>8.1}x",
-            naive as f64 / hierarchical.max(1) as f64
-        );
-    }
-    println!();
-}
-
-fn bench_collision(c: &mut Criterion) {
-    print_reproduction_table();
-
-    let mut group = c.benchmark_group("collision_query");
-    group.sample_size(30);
-    for obstacles in [100usize, 1_000, 5_000] {
-        let mut hierarchical = synthetic_world(obstacles);
-        hierarchical.build_grid(12.0);
-        let mut naive = synthetic_world(obstacles);
-        let probe = Vec3::new(30.0, 1.0, 30.0);
-        group.bench_with_input(BenchmarkId::new("multi_level", obstacles), &obstacles, |b, _| {
-            b.iter(|| hierarchical.query_sphere(probe, 1.0))
-        });
-        group.bench_with_input(BenchmarkId::new("naive", obstacles), &obstacles, |b, _| {
-            b.iter(|| naive.query_sphere_naive(probe, 1.0))
-        });
-    }
-    group.finish();
-
-    // The real training world, hook sweeping along the exam trajectory.
-    let training = TrainingWorld::build();
-    let mut world = CollisionWorld::from_obstacles(&training.obstacles);
-    world.build_grid(12.0);
-    let path: Vec<Vec3> = training.course.trajectory.clone();
-    c.bench_function("collision_training_world_trajectory_sweep", |b| {
-        b.iter(|| {
-            let mut contacts = 0;
-            for p in &path {
-                contacts += world.query_sphere(*p + Vec3::new(0.0, 2.0, 0.0), 0.8).len();
-            }
-            contacts
-        })
-    });
-}
-
-criterion_group!(benches, bench_collision);
-criterion_main!(benches);

@@ -1,84 +1,12 @@
-//! Experiment E8 — the dynamics module's per-frame cost and the inertia
-//! oscillation of the lift hook.
-//!
-//! Benchmarks the pendulum integration, the vehicle + rig kinematics, and
-//! prints the oscillation-decay series (swing amplitude after the boom stops)
-//! for several cargo masses.
+//! Experiment E2 (`dynamics`) — per-frame dynamics cost and the lift hook's
+//! inertia oscillation; see `crates/cod-bench/EXPERIMENTS.md`. Thin wrapper
+//! over `cod_bench::experiments::dynamics` so `cargo bench` and
+//! `bench_report` report identical statistics. Set `COD_BENCH_QUICK=1` for a
+//! smoke run.
 
-use crane_physics::terrain::FlatTerrain;
-use crane_physics::{
-    CablePendulum, CraneControls, CraneRig, CraneVehicle, DriveControls, VehicleParams,
-};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sim_math::Vec3;
+use cod_bench::experiments::{dynamics, ExperimentCtx};
 
-const DT: f64 = 1.0 / 60.0;
-
-fn print_reproduction_table() {
-    println!("\n=== E8: inertia oscillation of the lift hook (decay after the boom stops) ===");
-    println!("cargo (t) | peak swing (m) | swing after 5 s | swing after 15 s | at rest");
-    for cargo_tonnes in [0.5f64, 2.0, 5.0, 20.0] {
-        let mut suspension = Vec3::new(0.0, 15.0, 0.0);
-        let mut pendulum = CablePendulum::new(suspension, 6.0, 120.0);
-        pendulum.attach_cargo(cargo_tonnes * 1_000.0);
-        // Slew the boom tip sideways for 1.5 s, then stop.
-        let mut peak: f64 = 0.0;
-        for i in 0..90 {
-            suspension = Vec3::new(0.06 * i as f64, 15.0, 0.0);
-            pendulum.step(suspension, 6.0, DT);
-            peak = peak.max(pendulum.swing_amplitude(suspension));
-        }
-        let mut after_5 = 0.0;
-        for i in 0..(15 * 60) {
-            pendulum.step(suspension, 6.0, DT);
-            if i == 5 * 60 {
-                after_5 = pendulum.swing_amplitude(suspension);
-            }
-        }
-        let after_15 = pendulum.swing_amplitude(suspension);
-        println!(
-            "{cargo_tonnes:>9.1} | {peak:>14.2} | {after_5:>15.3} | {after_15:>16.3} | {}",
-            pendulum.is_at_rest(suspension)
-        );
-    }
-    println!();
+fn main() {
+    let result = dynamics::run(&ExperimentCtx::from_env());
+    println!("{}", result.summary());
 }
-
-fn bench_dynamics(c: &mut Criterion) {
-    print_reproduction_table();
-
-    let mut group = c.benchmark_group("dynamics");
-    group.sample_size(30);
-
-    for cargo in [0.0f64, 5_000.0] {
-        group.bench_with_input(
-            BenchmarkId::new("pendulum_frame", format!("{cargo}kg")),
-            &cargo,
-            |b, cargo| {
-                let suspension = Vec3::new(0.0, 15.0, 0.0);
-                let mut pendulum = CablePendulum::new(suspension, 6.0, 120.0);
-                pendulum.attach_cargo(*cargo);
-                b.iter(|| pendulum.step(suspension, 6.0, DT));
-            },
-        );
-    }
-
-    group.bench_function("vehicle_and_rig_frame", |b| {
-        let terrain = FlatTerrain::default();
-        let mut vehicle = CraneVehicle::new(VehicleParams::default(), Vec3::ZERO, 0.0);
-        let mut rig = CraneRig::default();
-        b.iter(|| {
-            vehicle.step(
-                DriveControls { throttle: 0.7, steering: 0.2, ..Default::default() },
-                &terrain,
-                DT,
-            );
-            rig.step(CraneControls { slew: 0.4, luff: 0.2, ..Default::default() }, DT);
-            rig.boom_tip_world(&vehicle.chassis_transform())
-        });
-    });
-    group.finish();
-}
-
-criterion_group!(benches, bench_dynamics);
-criterion_main!(benches);

@@ -1,66 +1,11 @@
-//! Experiments E1 / E2 — the headline result of the paper's §4.
-//!
-//! Regenerates the frame-rate-versus-polygon-budget series for the TNT2-class
-//! hardware model (paper: 16 fps at 3 235 polygons with the synchronized
-//! three-channel surround view) and benchmarks the real software rasterizer on
-//! the training world.
+//! Experiment E1 (`framerate`) — surround-view frame rate vs polygon budget;
+//! see `crates/cod-bench/EXPERIMENTS.md`. Thin wrapper over
+//! `cod_bench::experiments::framerate` so `cargo bench` and `bench_report`
+//! report identical statistics. Set `COD_BENCH_QUICK=1` for a smoke run.
 
-use crane_scene::world::TrainingWorld;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use render_sim::{Camera, GpuCostModel, Renderer, SurroundView};
-use sim_math::Vec3;
+use cod_bench::experiments::{framerate, ExperimentCtx};
 
-fn print_reproduction_table() {
-    println!("\n=== E1/E2: surround-view frame rate vs polygon budget (TNT2-class model) ===");
-    println!("polygons | sync fps | free-run fps | next-gen sync fps");
-    let mut next_gen = SurroundView::paper_configuration();
-    next_gen.set_cost_model(GpuCostModel::next_generation());
-    for polygons in [500usize, 1_000, 2_000, 3_235, 5_000, 8_000, 12_000, 20_000] {
-        let paper = SurroundView::paper_configuration().estimate(polygons);
-        let faster = next_gen.estimate(polygons);
-        println!(
-            "{polygons:>8} | {:>8.1} | {:>12.1} | {:>17.1}",
-            paper.synchronized_fps(),
-            paper.free_running_fps(),
-            faster.synchronized_fps()
-        );
-    }
-    let world = TrainingWorld::build();
-    let headline = SurroundView::paper_configuration().estimate(world.polygon_count());
-    println!(
-        "headline: {} polygons -> {:.1} fps synchronized (paper measured 16 fps at 3 235 polygons)\n",
-        world.polygon_count(),
-        headline.synchronized_fps()
-    );
+fn main() {
+    let result = framerate::run(&ExperimentCtx::from_env());
+    println!("{}", result.summary());
 }
-
-fn bench_rasterizer(c: &mut Criterion) {
-    print_reproduction_table();
-
-    let world = TrainingWorld::build();
-    let camera = Camera::look_at(Vec3::new(0.0, 5.0, -55.0), Vec3::new(0.0, 2.0, 40.0));
-    let mut group = c.benchmark_group("rasterizer");
-    group.sample_size(10);
-    for size in [(80usize, 60usize), (160, 120)] {
-        group.bench_with_input(
-            BenchmarkId::new("render_training_world", format!("{}x{}", size.0, size.1)),
-            &size,
-            |b, (w, h)| {
-                let mut renderer = Renderer::new(*w, *h);
-                b.iter(|| renderer.render(&world.scene, &camera));
-            },
-        );
-    }
-    group.finish();
-
-    let mut group = c.benchmark_group("cost_model");
-    group.sample_size(20);
-    group.bench_function("estimate_surround_3235_polygons", |b| {
-        let view = SurroundView::paper_configuration();
-        b.iter(|| view.estimate(3_235).synchronized_fps());
-    });
-    group.finish();
-}
-
-criterion_group!(benches, bench_rasterizer);
-criterion_main!(benches);

@@ -1,94 +1,12 @@
-//! Experiment E4 — the initialization protocol of the Communication Backbone.
-//!
-//! Measures how long (in simulated time) it takes to establish virtual
-//! channels as the number of subscribing computers grows and as the
-//! SUBSCRIPTION broadcast interval changes, and benchmarks the wall-clock cost
-//! of running the discovery phase.
+//! Experiment E6 (`init_protocol`) — the initialization protocol of the
+//! Communication Backbone; see `crates/cod-bench/EXPERIMENTS.md`. Thin
+//! wrapper over `cod_bench::experiments::init_protocol` so `cargo bench` and
+//! `bench_report` report identical statistics. Set `COD_BENCH_QUICK=1` for a
+//! smoke run.
 
-use cod_cb::{CbConfig, CbKernel, ClassRegistry};
-use cod_net::{LanConfig, Micros, SimLan};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cod_bench::experiments::{init_protocol, ExperimentCtx};
 
-/// Runs discovery for `subscribers` computers and returns (rounds, mean setup latency).
-fn establish(subscribers: usize, broadcast_interval: Micros, loss: f64) -> (usize, Micros) {
-    let mut registry = ClassRegistry::new();
-    let class = registry.register_object_class("CraneState", &["x"]).unwrap();
-    let lan = SimLan::shared(LanConfig::fast_ethernet(17).with_loss(loss));
-    let config =
-        CbConfig { subscription_broadcast_interval: broadcast_interval, ..CbConfig::default() };
-
-    let mut publisher =
-        CbKernel::with_config(SimLan::attach(&lan, "publisher"), registry.clone(), config);
-    let p = publisher.register_lp("dynamics");
-    publisher.publish_object_class(p, class).unwrap();
-
-    let mut subs: Vec<_> = (0..subscribers)
-        .map(|i| {
-            let mut kernel = CbKernel::with_config(
-                SimLan::attach(&lan, &format!("sub-{i}")),
-                registry.clone(),
-                config,
-            );
-            let lp = kernel.register_lp(&format!("sub-{i}"));
-            kernel.subscribe_object_class(lp, class).unwrap();
-            kernel
-        })
-        .collect();
-
-    let mut now = Micros::ZERO;
-    let mut rounds = 0;
-    while publisher.established_channel_count() < subscribers && rounds < 2_000 {
-        publisher.tick(now).unwrap();
-        for s in subs.iter_mut() {
-            s.tick(now).unwrap();
-        }
-        now += Micros::from_millis(5);
-        SimLan::advance_to(&lan, now);
-        rounds += 1;
-    }
-    let latencies: Vec<Micros> =
-        subs.iter().filter_map(|s| s.stats().mean_setup_latency()).collect();
-    let mean = if latencies.is_empty() {
-        Micros::ZERO
-    } else {
-        Micros(latencies.iter().map(|m| m.0).sum::<u64>() / latencies.len() as u64)
-    };
-    (rounds, mean)
+fn main() {
+    let result = init_protocol::run(&ExperimentCtx::from_env());
+    println!("{}", result.summary());
 }
-
-fn print_reproduction_table() {
-    println!("\n=== E4: initialization protocol convergence ===");
-    println!("subscribers | broadcast interval | loss | mean setup latency");
-    for subscribers in [1usize, 4, 16, 48] {
-        let (_, latency) = establish(subscribers, Micros::from_millis(50), 0.0);
-        println!("{subscribers:>11} | {:>18} | {:>4} | {}", "50 ms", "0%", latency);
-    }
-    for interval_ms in [10u64, 50, 200] {
-        let (_, latency) = establish(8, Micros::from_millis(interval_ms), 0.0);
-        println!("{:>11} | {:>15} ms | {:>4} | {}", 8, interval_ms, "0%", latency);
-    }
-    for loss in [0.0f64, 0.1, 0.3] {
-        let (_, latency) = establish(8, Micros::from_millis(50), loss);
-        println!("{:>11} | {:>18} | {:>3.0}% | {}", 8, "50 ms", loss * 100.0, latency);
-    }
-    println!();
-}
-
-fn bench_discovery(c: &mut Criterion) {
-    print_reproduction_table();
-    let mut group = c.benchmark_group("init_protocol");
-    group.sample_size(10);
-    for subscribers in [2usize, 8, 32] {
-        group.bench_with_input(
-            BenchmarkId::new("establish_channels", subscribers),
-            &subscribers,
-            |b, subscribers| {
-                b.iter(|| establish(*subscribers, Micros::from_millis(50), 0.0));
-            },
-        );
-    }
-    group.finish();
-}
-
-criterion_group!(benches, bench_discovery);
-criterion_main!(benches);

@@ -1,75 +1,11 @@
-//! Experiment E9 — the motion-platform controller.
-//!
-//! Benchmarks the Stewart-platform inverse kinematics and the full washout +
-//! interpolation + actuator servo step, and prints how the interpolation keeps
-//! the platform smooth across visual frame rates (16–60 Hz).
+//! Experiment E4 (`platform`) — the motion-platform controller and its pose
+//! interpolation; see `crates/cod-bench/EXPERIMENTS.md`. Thin wrapper over
+//! `cod_bench::experiments::platform` so `cargo bench` and `bench_report`
+//! report identical statistics. Set `COD_BENCH_QUICK=1` for a smoke run.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use motion_platform::{
-    inverse_kinematics, MotionController, MotionCue, PlatformPose, StewartGeometry,
-};
-use sim_math::Vec3;
+use cod_bench::experiments::{platform, ExperimentCtx};
 
-fn print_reproduction_table() {
-    println!("\n=== E9: pose interpolation synchronized with the visual frame rate ===");
-    println!("visual fps | servo rate | max pose step per servo tick (m + rad)");
-    for fps in [16.0f64, 30.0, 60.0] {
-        let mut controller = MotionController::new(fps, 7);
-        let servo_hz = 192.0;
-        let mut previous = PlatformPose::neutral();
-        let mut max_step: f64 = 0.0;
-        for frame in 0..64 {
-            controller.push_cue(MotionCue {
-                acceleration: Vec3::new(0.0, 0.0, if frame % 16 < 8 { 2.5 } else { -2.5 }),
-                engine_intensity: 0.6,
-                ..Default::default()
-            });
-            for _ in 0..(servo_hz / fps) as usize {
-                let (pose, _) = controller.servo_step(1.0 / servo_hz);
-                max_step = max_step.max(pose.distance(&previous));
-                previous = pose;
-            }
-        }
-        println!("{fps:>10.0} | {servo_hz:>10.0} | {max_step:>10.4}");
-    }
-    println!();
+fn main() {
+    let result = platform::run(&ExperimentCtx::from_env());
+    println!("{}", result.summary());
 }
-
-fn bench_platform(c: &mut Criterion) {
-    print_reproduction_table();
-
-    let mut group = c.benchmark_group("motion_platform");
-    group.sample_size(30);
-
-    group.bench_function("inverse_kinematics", |b| {
-        let geometry = StewartGeometry::training_platform();
-        let pose = PlatformPose::from_euler(Vec3::new(0.05, 0.02, -0.04), 0.02, 0.06, -0.03);
-        b.iter(|| inverse_kinematics(&geometry, &pose));
-    });
-
-    for fps in [16.0f64, 60.0] {
-        group.bench_with_input(
-            BenchmarkId::new("controller_visual_frame", fps as u64),
-            &fps,
-            |b, fps| {
-                let mut controller = MotionController::new(*fps, 3);
-                b.iter(|| {
-                    controller.push_cue(MotionCue {
-                        acceleration: Vec3::new(0.5, 0.0, 1.5),
-                        pitch: 0.02,
-                        roll: -0.01,
-                        yaw_rate: 0.1,
-                        engine_intensity: 0.7,
-                    });
-                    for _ in 0..12 {
-                        controller.servo_step(1.0 / (fps * 12.0));
-                    }
-                });
-            },
-        );
-    }
-    group.finish();
-}
-
-criterion_group!(benches, bench_platform);
-criterion_main!(benches);

@@ -1,77 +1,11 @@
-//! Experiment E5 — virtual-channel routing: co-resident versus cross-machine.
-//!
-//! The push/pull data plane of the Communication Backbone routes an update
-//! either directly to a co-resident subscriber or over the LAN on an
-//! established virtual channel; this bench measures both paths for a range of
-//! payload sizes.
+//! Experiment E5 (`routing`) — virtual-channel routing, co-resident vs
+//! cross-machine; see `crates/cod-bench/EXPERIMENTS.md`. Thin wrapper over
+//! `cod_bench::experiments::routing` so `cargo bench` and `bench_report`
+//! report identical statistics. Set `COD_BENCH_QUICK=1` for a smoke run.
 
-use cod_bench::EstablishedPair;
-use cod_cb::{AttributeId, CbKernel, ClassRegistry, Value};
-use cod_net::{LanConfig, Micros, SimLan};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cod_bench::experiments::{routing, ExperimentCtx};
 
-fn bench_remote_routing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("routing_remote");
-    group.sample_size(20);
-    for payload in [16usize, 256, 1_024, 4_096] {
-        group.throughput(Throughput::Bytes(payload as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(payload), &payload, |b, payload| {
-            let mut pair = EstablishedPair::new(LanConfig::fast_ethernet(3));
-            let object =
-                pair.publisher.register_object_instance(pair.publisher_lp, pair.class).unwrap();
-            let blob = Value::Bytes(vec![0xAB; *payload]);
-            b.iter(|| {
-                pair.publisher
-                    .update_attribute_values(
-                        pair.publisher_lp,
-                        object,
-                        [(AttributeId(0), blob.clone())].into(),
-                        pair.now,
-                    )
-                    .unwrap();
-                pair.round();
-                pair.round();
-                let got = pair.subscriber.reflections(pair.subscriber_lp);
-                assert!(!got.is_empty());
-                got.len()
-            });
-        });
-    }
-    group.finish();
+fn main() {
+    let result = routing::run(&ExperimentCtx::from_env());
+    println!("{}", result.summary());
 }
-
-fn bench_local_routing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("routing_local");
-    group.sample_size(20);
-    for payload in [16usize, 1_024, 4_096] {
-        group.throughput(Throughput::Bytes(payload as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(payload), &payload, |b, payload| {
-            let mut registry = ClassRegistry::new();
-            let class = registry.register_object_class("Bench", &["payload"]).unwrap();
-            let lan = SimLan::shared(LanConfig::ideal(1));
-            let mut kernel = CbKernel::new(SimLan::attach(&lan, "pc"), registry);
-            let producer = kernel.register_lp("producer");
-            let consumer = kernel.register_lp("consumer");
-            kernel.publish_object_class(producer, class).unwrap();
-            kernel.subscribe_object_class(consumer, class).unwrap();
-            let object = kernel.register_object_instance(producer, class).unwrap();
-            let blob = Value::Bytes(vec![0xCD; *payload]);
-            b.iter(|| {
-                kernel
-                    .update_attribute_values(
-                        producer,
-                        object,
-                        [(AttributeId(0), blob.clone())].into(),
-                        Micros::ZERO,
-                    )
-                    .unwrap();
-                let got = kernel.reflections(consumer);
-                assert_eq!(got.len(), 1);
-            });
-        });
-    }
-    group.finish();
-}
-
-criterion_group!(benches, bench_remote_routing, bench_local_routing);
-criterion_main!(benches);

@@ -1,87 +1,12 @@
-//! Experiment E3 — the cost of the frame-synchronization server.
-//!
-//! The paper attributes the drop to 16 fps to "the overhead of the
-//! synchronization among the three graphical computers"; this bench quantifies
-//! the swap-lock barrier for 1–6 display channels and benchmarks the barrier
-//! protocol itself running over the Communication Backbone.
+//! Experiment E7 (`sync_overhead`) — the cost of the frame-synchronization
+//! server; see `crates/cod-bench/EXPERIMENTS.md`. Thin wrapper over
+//! `cod_bench::experiments::sync_overhead` so `cargo bench` and
+//! `bench_report` report identical statistics. Set `COD_BENCH_QUICK=1` for a
+//! smoke run.
 
-use cod_cb::{CbApi, CbError, ClassRegistry};
-use cod_cluster::{
-    Cluster, ClusterConfig, FrameSyncClient, FrameSyncFom, FrameSyncServer, LogicalProcess,
-    SyncBarrierModel,
-};
-use cod_net::Micros;
-use criterion::{criterion_group, criterion_main, Criterion};
+use cod_bench::experiments::{sync_overhead, ExperimentCtx};
 
-struct BenchDisplay {
-    client: FrameSyncClient,
+fn main() {
+    let result = sync_overhead::run(&ExperimentCtx::from_env());
+    println!("{}", result.summary());
 }
-
-impl LogicalProcess for BenchDisplay {
-    fn name(&self) -> &str {
-        "bench-display"
-    }
-    fn init(&mut self, cb: &mut dyn CbApi) -> Result<(), CbError> {
-        self.client.init(cb)
-    }
-    fn step(&mut self, cb: &mut dyn CbApi, _dt: f64) -> Result<(), CbError> {
-        if self.client.is_waiting() {
-            self.client.poll_release(cb);
-        } else {
-            self.client.report_ready(cb)?;
-        }
-        Ok(())
-    }
-}
-
-fn print_reproduction_table() {
-    println!("\n=== E3: swap-lock overhead vs number of display channels ===");
-    println!("channels | free-run fps | synchronized fps | overhead %");
-    let model =
-        SyncBarrierModel { round_trip: Micros::from_millis(1), server_processing: Micros(500) };
-    for channels in 1..=6usize {
-        // Every channel renders the same 3 235-polygon scene; small spread from load.
-        let render_times: Vec<Micros> =
-            (0..channels).map(|i| Micros::from_millis(58 + i as u64)).collect();
-        let free = SyncBarrierModel::unsynchronized_period(&render_times);
-        let sync = model.synchronized_period(&render_times);
-        println!(
-            "{channels:>8} | {:>12.1} | {:>16.1} | {:>9.1}",
-            1.0 / free.as_secs_f64(),
-            1.0 / sync.as_secs_f64(),
-            model.overhead_fraction(&render_times) * 100.0
-        );
-    }
-    println!();
-}
-
-fn bench_barrier_protocol(c: &mut Criterion) {
-    print_reproduction_table();
-
-    let mut group = c.benchmark_group("frame_sync");
-    group.sample_size(10);
-    for channels in [1usize, 3, 6] {
-        group.bench_function(format!("barrier_protocol_{channels}_channels"), |b| {
-            let mut fom = ClassRegistry::new();
-            let sync_fom = FrameSyncFom::register(&mut fom).unwrap();
-            let mut cluster = Cluster::new(ClusterConfig::default(), fom);
-            for i in 0..channels {
-                let pc = cluster.add_computer(&format!("display-{i}"));
-                cluster
-                    .add_lp(
-                        pc,
-                        Box::new(BenchDisplay { client: FrameSyncClient::new(sync_fom, i as u32) }),
-                    )
-                    .unwrap();
-            }
-            let server_pc = cluster.add_computer("sync-server");
-            cluster.add_lp(server_pc, Box::new(FrameSyncServer::new(sync_fom, channels))).unwrap();
-            cluster.initialize().unwrap();
-            b.iter(|| cluster.run_frames(10).unwrap());
-        });
-    }
-    group.finish();
-}
-
-criterion_group!(benches, bench_barrier_protocol);
-criterion_main!(benches);

@@ -1,8 +1,21 @@
-//! Shared helpers for the benchmark harness.
+//! The measurement layer of the crane-simulator workspace.
 //!
 //! Each bench target under `benches/` regenerates one experiment of
-//! `EXPERIMENTS.md`; this library only hosts the small bits of setup code they
-//! share.
+//! `EXPERIMENTS.md`. The heavy lifting lives here as library code:
+//!
+//! - [`measure`] — warm-up, calibrated iteration counts, median/p95/p99,
+//!   MAD outlier rejection and bootstrap confidence intervals;
+//! - [`report`] — the `BENCH_cod.json` schema and the measured-vs-paper
+//!   comparison table;
+//! - [`json`] — the hand-rolled JSON tree backing the report (the vendored
+//!   serde is a marker-trait stub);
+//! - [`experiments`] — experiments E1–E8 themselves, shared by the bench
+//!   targets and the `bench_report` runner binary.
+
+pub mod experiments;
+pub mod json;
+pub mod measure;
+pub mod report;
 
 use cod_cb::{CbKernel, ClassRegistry, ObjectClassId};
 use cod_net::{LanConfig, Micros, SharedLan, SimLan, SimTransport};

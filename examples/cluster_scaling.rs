@@ -1,9 +1,9 @@
-//! Cluster scaling (experiment E6): what frame rate the seven-module simulator
+//! Cluster scaling (experiment E8): what frame rate the seven-module simulator
 //! can sustain on one desktop PC versus on the eight-computer COD, and how the
 //! load-balancer packs the modules onto intermediate cluster sizes.
 //!
 //! ```text
-//! cargo run --release -p cod-examples --bin cluster_scaling
+//! cargo run --release --example cluster_scaling
 //! ```
 
 use cod_cluster::{balance_load, LpLoad, PipelineModel, StageCost};

@@ -2,7 +2,7 @@
 //! testing ground, lifts the cargo and carries it along the barred trajectory.
 //!
 //! ```text
-//! cargo run --release -p cod-examples --bin licensing_exam
+//! cargo run --release --example licensing_exam
 //! ```
 
 use crane_sim::{CraneSimulator, OperatorKind, SimulatorConfig};

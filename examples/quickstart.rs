@@ -2,7 +2,7 @@
 //! the report.
 //!
 //! ```text
-//! cargo run --release -p cod-examples --bin quickstart
+//! cargo run --release --example quickstart
 //! ```
 
 use crane_sim::{CraneSimulator, OperatorKind, SimulatorConfig};

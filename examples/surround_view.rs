@@ -1,9 +1,9 @@
-//! The three-channel surround view (experiments E1–E3): renders real images of
+//! The three-channel surround view (experiments E1 and E7): renders real images of
 //! the training world with the software rasterizer and prints the frame-rate
 //! table the paper's §4 reports a single point of (16 fps at 3 235 polygons).
 //!
 //! ```text
-//! cargo run --release -p cod-examples --bin surround_view
+//! cargo run --release --example surround_view
 //! ```
 
 use crane_scene::world::TrainingWorld;

@@ -3,7 +3,7 @@
 //! fault-injection console (paper §3.3, Figures 5 and 6).
 //!
 //! ```text
-//! cargo run --release -p cod-examples --bin training_session
+//! cargo run --release --example training_session
 //! ```
 
 use crane_sim::fom::FaultMsg;

@@ -1,33 +1,45 @@
 //! Offline stand-in for the `criterion` benchmark harness.
 //!
-//! Provides the API surface the `cod-bench` targets use — groups, throughput
+//! Provides the API surface bench targets use — groups, throughput
 //! annotation, parameterised benches, `criterion_group!`/`criterion_main!` —
-//! backed by a simple wall-clock timer instead of criterion's statistical
-//! machinery. Each bench runs a short warm-up followed by a fixed number of
-//! timed samples and prints the mean time per iteration, so `cargo bench`
-//! still yields usable relative numbers for the paper's experiments.
+//! as a thin compatibility shim over the workspace's real measurement layer,
+//! [`cod_bench::measure`]: calibrated iteration counts, MAD outlier
+//! rejection and median/p95 reporting instead of the bare wall-clock loop
+//! this stub started as. The in-tree bench targets call
+//! `cod_bench::experiments` directly; this shim keeps any criterion-flavoured
+//! bench code (and a future swap to the real crates.io criterion) compiling
+//! unchanged.
 
 use std::fmt::Write as _;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-/// Number of timed iterations per sample when none is configured.
-const DEFAULT_ITERS: u64 = 20;
-/// Warm-up iterations before timing starts.
-const WARMUP_ITERS: u64 = 3;
+use cod_bench::measure::{measure, MeasureConfig, Measurement};
 
 /// Entry point handed to every bench function.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Criterion {
-    _private: (),
+    config: MeasureConfig,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep `cargo bench` turnaround short: criterion-style targets get a
+        // trimmed sample budget; `COD_BENCH_QUICK=1` trims further.
+        let mut config = MeasureConfig::from_env();
+        config.samples = config.samples.min(20);
+        Criterion { config }
+    }
 }
 
 impl Criterion {
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let config = self.config;
         BenchmarkGroup {
             _criterion: self,
             name: name.into(),
-            sample_iters: DEFAULT_ITERS,
+            config,
+            measurement_time: None,
             throughput: None,
         }
     }
@@ -37,7 +49,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&id.into().label, DEFAULT_ITERS, None, |b| f(b));
+        run_one(&id.into().label, self.config, None, |b| f(b));
         self
     }
 }
@@ -46,20 +58,35 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
     name: String,
-    sample_iters: u64,
+    config: MeasureConfig,
+    // Criterion semantics: total time across all samples, split per sample
+    // at run time (after `sample_size` is known).
+    measurement_time: Option<Duration>,
     throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the number of samples (mapped to timed iterations here).
+    /// Sets the number of timed samples.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_iters = (n as u64).max(1);
+        self.config.samples = n.max(1);
         self
     }
 
-    /// Sets the target measurement time; accepted and ignored by the stub.
-    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+    /// Sets the target measurement time of the whole benchmark (all samples
+    /// together), matching the real criterion's meaning.
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.measurement_time = Some(dur);
         self
+    }
+
+    /// The effective per-run config with `measurement_time` applied.
+    fn effective_config(&self) -> MeasureConfig {
+        let mut config = self.config;
+        if let Some(total) = self.measurement_time {
+            config.target_sample_time =
+                (total / config.samples.max(1) as u32).max(Duration::from_micros(1));
+        }
+        config
     }
 
     /// Declares the throughput of each iteration for rate reporting.
@@ -74,7 +101,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let label = format!("{}/{}", self.name, id.into().label);
-        run_one(&label, self.sample_iters, self.throughput, |b| f(b));
+        run_one(&label, self.effective_config(), self.throughput, |b| f(b));
         self
     }
 
@@ -90,7 +117,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let label = format!("{}/{}", self.name, id.into().label);
-        run_one(&label, self.sample_iters, self.throughput, |b| f(b, input));
+        run_one(&label, self.effective_config(), self.throughput, |b| f(b, input));
         self
     }
 
@@ -140,39 +167,43 @@ pub enum Throughput {
 /// Timer handed to the measured closure.
 #[derive(Debug)]
 pub struct Bencher {
-    iters: u64,
-    elapsed: Duration,
+    config: MeasureConfig,
+    measurement: Option<Measurement>,
 }
 
 impl Bencher {
-    /// Times `routine`, running it for the configured number of iterations.
+    /// Measures `routine` through the statistical pipeline.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
-        for _ in 0..WARMUP_ITERS {
+        self.measurement = Some(measure(&self.config, || {
             std::hint::black_box(routine());
-        }
-        let start = Instant::now();
-        for _ in 0..self.iters {
-            std::hint::black_box(routine());
-        }
-        self.elapsed = start.elapsed();
+        }));
     }
 }
 
-fn run_one(label: &str, iters: u64, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
-    let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+fn run_one(
+    label: &str,
+    config: MeasureConfig,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut bencher = Bencher { config, measurement: None };
     f(&mut bencher);
-    let per_iter = bencher.elapsed.as_nanos() as f64 / iters.max(1) as f64;
-    let mut line = format!("{label:<40} {:>12.0} ns/iter", per_iter);
+    let Some(m) = bencher.measurement else {
+        println!("{label:<40} (no measurement: Bencher::iter never called)");
+        return;
+    };
+    let stats = m.stats;
+    let mut line = format!(
+        "{label:<40} median {:>12.0} ns/iter   p95 {:>12.0} ns/iter   ({} samples, {} kept)",
+        stats.median, stats.p95, stats.samples, stats.kept
+    );
     if let Some(tp) = throughput {
-        let per_sec = match tp {
-            Throughput::Bytes(n) => (n as f64) * 1e9 / per_iter.max(1.0),
-            Throughput::Elements(n) => (n as f64) * 1e9 / per_iter.max(1.0),
+        let per_iter = stats.median.max(1.0);
+        let (n, unit) = match tp {
+            Throughput::Bytes(n) => (n, "B/s"),
+            Throughput::Elements(n) => (n, "elem/s"),
         };
-        let unit = match tp {
-            Throughput::Bytes(_) => "B/s",
-            Throughput::Elements(_) => "elem/s",
-        };
-        let _ = write!(line, "   {per_sec:>14.0} {unit}");
+        let _ = write!(line, "   {:>14.0} {unit}", n as f64 * 1e9 / per_iter);
     }
     println!("{line}");
 }
@@ -201,4 +232,26 @@ macro_rules! criterion_main {
             $( $group(); )+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_statistics() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        group.sample_size(4);
+        group.measurement_time(Duration::from_micros(200));
+        let mut ran = 0u64;
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        group.finish();
+        assert!(ran > 0, "the routine must actually run");
+    }
 }

@@ -188,6 +188,12 @@ impl<T: Transport> CbKernel<T> {
         self.channels.established_count()
     }
 
+    /// Read access to the full virtual-channel table (used by invariant
+    /// checkers to audit cluster-wide channel consistency).
+    pub fn channels(&self) -> &ChannelTable {
+        &self.channels
+    }
+
     /// The conservative lower bound on future message timestamps for a channel,
     /// derived from data messages and Chandy–Misra null messages received on it.
     pub fn channel_time_bound(&self, channel: ChannelId) -> Option<Micros> {

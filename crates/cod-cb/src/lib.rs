@@ -85,7 +85,7 @@ pub mod timesync;
 pub mod wire;
 
 pub use api::{CbApi, LpContext};
-pub use channel::{ChannelId, ChannelTable, VirtualChannel};
+pub use channel::{ChannelId, ChannelRole, ChannelTable, VirtualChannel};
 pub use error::CbError;
 pub use fom::{
     AttributeId, AttributeValues, ClassRegistry, InteractionClassId, ObjectClassId, Value,

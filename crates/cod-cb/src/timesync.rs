@@ -209,7 +209,72 @@ mod tests {
         assert_eq!(tm.granted(), Micros(200));
     }
 
+    #[test]
+    fn consumer_clock_offset_converges_to_within_one_frame_of_the_producer() {
+        // A producer stepping at the 16 fps executive rate with one frame of
+        // lookahead; the consumer requests advancement to the producer's time
+        // each round. After the first round the consumer's offset (producer
+        // local time minus granted time) converges to zero and stays there.
+        let frame = Micros(62_500);
+        let mut producer = LookaheadClock::new(frame);
+        let mut tm = TimeManager::new();
+        let channel = ChannelId(1);
+        tm.add_channel(channel);
+
+        let mut offsets = Vec::new();
+        for step in 1..=100u64 {
+            let t = Micros(step * frame.0);
+            producer.advance_to(t);
+            tm.observe(channel, producer.guarantee());
+            let granted = tm.request_advance(t);
+            offsets.push(producer.local_time().0 as i64 - granted.0 as i64);
+        }
+        // Converged: from the first observation on, the consumer is granted
+        // exactly the producer's time (offset zero), never beyond it.
+        assert!(offsets.iter().all(|o| *o == 0), "offsets never converged: {offsets:?}");
+        assert_eq!(tm.granted(), producer.local_time());
+    }
+
+    #[test]
+    fn consumer_lag_is_bounded_by_the_slowest_producer() {
+        // Two producers, one a full frame behind the other: the consumer's
+        // grant tracks the laggard's guarantee, never the fast producer's.
+        let frame = Micros(62_500);
+        let mut fast = LookaheadClock::new(frame);
+        let mut slow = LookaheadClock::new(frame);
+        let mut tm = TimeManager::new();
+        tm.add_channel(ChannelId(1));
+        tm.add_channel(ChannelId(2));
+
+        for step in 1..=50u64 {
+            fast.advance_to(Micros(step * frame.0));
+            if step > 1 {
+                slow.advance_to(Micros((step - 1) * frame.0));
+            }
+            tm.observe(ChannelId(1), fast.guarantee());
+            tm.observe(ChannelId(2), slow.guarantee());
+            let granted = tm.request_advance(fast.local_time());
+            let lag = fast.local_time().saturating_sub(granted);
+            assert!(lag <= frame, "consumer lag {lag} exceeds one frame at step {step}");
+            assert_eq!(granted, slow.guarantee(), "grant must track the slowest producer");
+        }
+    }
+
     proptest! {
+        #[test]
+        fn prop_granted_time_is_monotone_under_any_request_sequence(
+                requests in proptest::collection::vec(0u64..1_000_000, 2..32)) {
+            let mut tm = TimeManager::new();
+            tm.add_channel(ChannelId(1));
+            tm.observe(ChannelId(1), Micros(500_000));
+            let mut last = Micros::ZERO;
+            for request in requests {
+                let granted = tm.request_advance(Micros(request));
+                prop_assert!(granted >= last, "grant regressed: {granted} < {last}");
+                last = granted;
+            }
+        }
+
         #[test]
         fn prop_granted_time_never_exceeds_lbts(bounds in proptest::collection::vec(0u64..1_000_000, 1..8),
                                                 request in 0u64..2_000_000) {

@@ -1,7 +1,7 @@
 //! The cluster executive: a deterministic frame-driven driver for the COD.
 
 use cod_cb::{CbError, ClassRegistry, LpId};
-use cod_net::{LanConfig, LanStats, Micros, SharedLan, SimLan};
+use cod_net::{FaultPlan, LanConfig, LanStats, Micros, SharedLan, SimLan};
 use serde::{Deserialize, Serialize};
 
 use crate::computer::Computer;
@@ -54,6 +54,20 @@ impl FramePeriod for Micros {
 pub fn frame_period_for_fps(fps: f64) -> Micros {
     assert!(fps > 0.0, "frame rate must be positive");
     Micros((1_000_000.0 / fps).round() as u64)
+}
+
+/// The step-level record returned by [`Cluster::run_frame`]: what one frame of
+/// the executive did, for trace recorders and invariant checkers. The testkit
+/// pulls one of these per frame instead of installing callback hooks, which
+/// keeps replays deterministic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameRecord {
+    /// Zero-based index of the executed frame.
+    pub frame: u64,
+    /// Simulation time at the *end* of the frame.
+    pub now: Micros,
+    /// Modeled CPU cost of the frame on each computer, in rack order.
+    pub costs: Vec<(String, Micros)>,
 }
 
 /// The Cluster Of Desktop computers: computers + LAN + executive loop.
@@ -154,6 +168,13 @@ impl Cluster {
         SimLan::stats(&self.lan)
     }
 
+    /// Installs a fault-injection plan on the cluster LAN (see
+    /// [`cod_net::FaultPlan`]); faults apply to every datagram sent after this
+    /// call, drawn from the plan's own seeded RNG stream.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        SimLan::set_fault_plan(&self.lan, plan);
+    }
+
     /// The configured frame period.
     pub fn frame_period(&self) -> Micros {
         self.config.frame_period
@@ -183,12 +204,14 @@ impl Cluster {
         Ok(())
     }
 
-    /// Runs one simulation frame across the whole cluster.
+    /// Runs one simulation frame across the whole cluster, returning the
+    /// step-level [`FrameRecord`] for trace recorders and invariant checkers.
     ///
     /// # Errors
     ///
     /// Returns the first error raised by an LP step or kernel tick.
-    pub fn run_frame(&mut self) -> Result<(), CbError> {
+    pub fn run_frame(&mut self) -> Result<FrameRecord, CbError> {
+        let frame = self.metrics.frames_run;
         let dt = self.config.frame_period.as_secs_f64();
         let mut costs = Vec::with_capacity(self.computers.len());
         for computer in self.computers.iter_mut() {
@@ -198,7 +221,7 @@ impl Cluster {
         self.now += self.config.frame_period;
         SimLan::advance_to(&self.lan, self.now);
         self.metrics.record_frame(self.config.frame_period, &costs);
-        Ok(())
+        Ok(FrameRecord { frame, now: self.now, costs })
     }
 
     /// Runs `frames` simulation frames.
@@ -360,6 +383,42 @@ mod tests {
     #[should_panic]
     fn zero_fps_rejected() {
         let _ = frame_period_for_fps(0.0);
+    }
+
+    #[test]
+    fn run_frame_returns_step_records() {
+        let (fom, class) = sample_fom();
+        let mut cluster = Cluster::new(ClusterConfig::default(), fom);
+        let a = cluster.add_computer("producer-pc");
+        cluster.add_lp(a, Box::new(Producer { class, object: None, count: 0 })).unwrap();
+        cluster.initialize().unwrap();
+        let first = cluster.run_frame().unwrap();
+        assert_eq!(first.frame, 0);
+        assert_eq!(first.costs.len(), 1);
+        assert_eq!(first.costs[0], ("producer-pc".to_owned(), Micros::from_millis(5)));
+        let second = cluster.run_frame().unwrap();
+        assert_eq!(second.frame, 1);
+        assert_eq!(second.now, cluster.now());
+    }
+
+    #[test]
+    fn fault_plan_reaches_the_cluster_lan() {
+        let (fom, class) = sample_fom();
+        let received = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let mut cluster = Cluster::new(ClusterConfig::default(), fom);
+        let a = cluster.add_computer("producer-pc");
+        let b = cluster.add_computer("consumer-pc");
+        cluster.add_lp(a, Box::new(Producer { class, object: None, count: 0 })).unwrap();
+        cluster
+            .add_lp(b, Box::new(Consumer { class, received: std::sync::Arc::clone(&received) }))
+            .unwrap();
+        cluster.initialize().unwrap();
+        cluster.set_fault_plan(cod_net::FaultPlan::seeded(1).with_drop_probability(0.5));
+        cluster.run_frames(40).unwrap();
+        let stats = cluster.lan_stats();
+        assert!(stats.fault_drops > 0, "no fault drops recorded");
+        // The exchange still makes progress despite the injected loss.
+        assert!(received.load(std::sync::atomic::Ordering::Relaxed) > 5);
     }
 
     #[test]

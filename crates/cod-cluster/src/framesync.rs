@@ -62,6 +62,7 @@ pub struct FrameSyncServer {
     current_frame: u64,
     pending: BTreeMap<u64, BTreeSet<u32>>,
     frames_released: u64,
+    go_resends: u64,
     step_cost: Micros,
 }
 
@@ -79,6 +80,7 @@ impl FrameSyncServer {
             current_frame: 0,
             pending: BTreeMap::new(),
             frames_released: 0,
+            go_resends: 0,
             step_cost: Micros(500),
         }
     }
@@ -92,6 +94,12 @@ impl FrameSyncServer {
     pub fn current_frame(&self) -> u64 {
         self.current_frame
     }
+
+    /// Number of FrameGo re-transmissions triggered by stale ready reports
+    /// (i.e. how often the LAN lost a release on the way to a channel).
+    pub fn go_resends(&self) -> u64 {
+        self.go_resends
+    }
 }
 
 impl LogicalProcess for FrameSyncServer {
@@ -104,6 +112,7 @@ impl LogicalProcess for FrameSyncServer {
     }
 
     fn step(&mut self, cb: &mut dyn CbApi, _dt: f64) -> Result<(), CbError> {
+        let mut stale_frames = BTreeSet::new();
         for interaction in cb.interactions() {
             if interaction.class != self.fom.frame_ready {
                 continue;
@@ -118,7 +127,20 @@ impl LogicalProcess for FrameSyncServer {
                 .get(&self.fom.ready_frame)
                 .and_then(Value::as_u32)
                 .unwrap_or(0) as u64;
+            if frame < self.current_frame {
+                // A ready report for an already-released frame means the LAN
+                // lost the FrameGo on the way to that channel; re-release it.
+                stale_frames.insert(frame);
+                continue;
+            }
             self.pending.entry(frame).or_default().insert(channel);
+        }
+        for frame in stale_frames {
+            cb.send_interaction(
+                self.fom.frame_go,
+                [(self.fom.go_frame, Value::U32(frame as u32))].into(),
+            )?;
+            self.go_resends += 1;
         }
 
         // Release the swap for the current frame once every channel reported.
@@ -145,6 +167,12 @@ impl LogicalProcess for FrameSyncServer {
     }
 }
 
+/// Number of unproductive release polls after which a waiting client re-sends
+/// its ready report (a lost FrameReady or FrameGo otherwise stalls lock-step
+/// forever). A healthy barrier releases within two polls, so three silent
+/// polls indicate a lost datagram.
+const READY_RESEND_AFTER_POLLS: u32 = 3;
+
 /// The client half of the synchronization protocol, embedded in a display LP.
 #[derive(Debug, Clone)]
 pub struct FrameSyncClient {
@@ -153,12 +181,22 @@ pub struct FrameSyncClient {
     frame: u64,
     waiting_for_go: bool,
     frames_swapped: u64,
+    stalled_polls: u32,
+    ready_resends: u64,
 }
 
 impl FrameSyncClient {
     /// Creates the client for display channel `channel_index`.
     pub fn new(fom: FrameSyncFom, channel_index: u32) -> FrameSyncClient {
-        FrameSyncClient { fom, channel_index, frame: 0, waiting_for_go: false, frames_swapped: 0 }
+        FrameSyncClient {
+            fom,
+            channel_index,
+            frame: 0,
+            waiting_for_go: false,
+            frames_swapped: 0,
+            stalled_polls: 0,
+            ready_resends: 0,
+        }
     }
 
     /// Subscribes to the release interaction; call from the display LP's `init`.
@@ -185,6 +223,12 @@ impl FrameSyncClient {
         self.frames_swapped
     }
 
+    /// Number of ready-report re-transmissions (i.e. how often this channel
+    /// suspected a lost barrier datagram and recovered).
+    pub fn ready_resends(&self) -> u64 {
+        self.ready_resends
+    }
+
     /// Reports that rendering of the current frame finished and blocks the
     /// channel until the server releases the swap.
     ///
@@ -201,6 +245,7 @@ impl FrameSyncClient {
             .into(),
         )?;
         self.waiting_for_go = true;
+        self.stalled_polls = 0;
         Ok(())
     }
 
@@ -221,10 +266,38 @@ impl FrameSyncClient {
         }
         if released && self.waiting_for_go {
             self.waiting_for_go = false;
+            self.stalled_polls = 0;
             self.frame += 1;
             self.frames_swapped += 1;
+        } else if self.waiting_for_go {
+            self.stalled_polls += 1;
         }
         released
+    }
+
+    /// Re-sends the ready report if the channel has been waiting suspiciously
+    /// long for its release — the recovery path for a FrameReady or FrameGo
+    /// datagram lost on the LAN. Returns `true` if a resend went out. Call
+    /// after [`FrameSyncClient::poll_release`] on every blocked step.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the CB rejects the interaction.
+    pub fn resend_ready_if_stalled(&mut self, cb: &mut dyn CbApi) -> Result<bool, CbError> {
+        if !self.waiting_for_go || self.stalled_polls < READY_RESEND_AFTER_POLLS {
+            return Ok(false);
+        }
+        cb.send_interaction(
+            self.fom.frame_ready,
+            [
+                (self.fom.ready_channel, Value::U32(self.channel_index)),
+                (self.fom.ready_frame, Value::U32(self.frame as u32)),
+            ]
+            .into(),
+        )?;
+        self.stalled_polls = 0;
+        self.ready_resends += 1;
+        Ok(true)
     }
 }
 
@@ -289,6 +362,7 @@ mod tests {
         fn step(&mut self, cb: &mut dyn CbApi, _dt: f64) -> Result<(), CbError> {
             if self.client.is_waiting() {
                 self.client.poll_release(cb);
+                self.client.resend_ready_if_stalled(cb)?;
             } else {
                 // "Render" the frame, then report it to the sync server.
                 self.rendered.fetch_add(1, Ordering::Relaxed);
@@ -363,6 +437,45 @@ mod tests {
         cluster.initialize().unwrap();
         cluster.run_frames(60).unwrap();
         assert_eq!(counter.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn lock_step_survives_a_lossy_lan() {
+        let mut fom = ClassRegistry::new();
+        let sync_fom = FrameSyncFom::register(&mut fom).unwrap();
+        let mut cluster = Cluster::new(ClusterConfig::default(), fom);
+        let mut swapped = Vec::new();
+        for i in 0..3 {
+            let pc = cluster.add_computer(&format!("display-{i}"));
+            let counter = Arc::new(AtomicU64::new(0));
+            swapped.push(Arc::clone(&counter));
+            cluster
+                .add_lp(
+                    pc,
+                    Box::new(Display {
+                        name: format!("visual-{i}"),
+                        client: FrameSyncClient::new(sync_fom, i as u32),
+                        rendered: Arc::new(AtomicU64::new(0)),
+                        swapped: counter,
+                    }),
+                )
+                .unwrap();
+        }
+        let sync_pc = cluster.add_computer("sync-server");
+        cluster.add_lp(sync_pc, Box::new(FrameSyncServer::new(sync_fom, 3))).unwrap();
+        cluster.initialize().unwrap();
+
+        // 10% datagram loss: without ready-resend and stale-ready re-release
+        // the barrier deadlocks within a handful of frames.
+        cluster.set_fault_plan(cod_net::FaultPlan::seeded(21).with_drop_probability(0.10));
+        cluster.run_frames(300).unwrap();
+
+        let counts: Vec<u64> = swapped.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        assert!(counts.iter().all(|c| *c > 20), "progress stalled under loss: {counts:?}");
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        assert!(max - min <= 1, "channels diverged under loss: {counts:?}");
+        assert!(cluster.lan_stats().fault_drops > 0);
     }
 
     #[test]

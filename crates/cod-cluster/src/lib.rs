@@ -74,7 +74,7 @@ pub mod metrics;
 pub mod pipeline;
 pub mod placement;
 
-pub use cluster::{frame_period_for_fps, Cluster, ClusterConfig, ComputerId};
+pub use cluster::{frame_period_for_fps, Cluster, ClusterConfig, ComputerId, FrameRecord};
 pub use computer::Computer;
 pub use framesync::{FrameSyncClient, FrameSyncFom, FrameSyncServer, SyncBarrierModel};
 pub use lp::LogicalProcess;

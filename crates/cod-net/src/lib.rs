@@ -33,6 +33,7 @@
 pub mod addr;
 pub mod datagram;
 pub mod error;
+pub mod fault;
 pub mod link;
 pub mod loopback;
 pub mod simnet;
@@ -44,6 +45,7 @@ pub mod udp;
 pub use addr::{Addr, NodeId, Port};
 pub use datagram::{Datagram, Destination};
 pub use error::NetError;
+pub use fault::{FaultPlan, LatencySpike, LinkFaultRule, PartitionWindow};
 pub use link::{LanConfig, LinkModel};
 pub use loopback::{LoopbackHub, LoopbackTransport};
 pub use simnet::{SharedLan, SimLan, SimTransport};

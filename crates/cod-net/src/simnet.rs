@@ -7,11 +7,12 @@ use std::sync::Arc;
 use bytes::Bytes;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use crate::addr::{Addr, NodeId, Port};
 use crate::datagram::{Datagram, Destination};
 use crate::error::NetError;
+use crate::fault::FaultPlan;
 use crate::link::LanConfig;
 use crate::stats::LanStats;
 use crate::time::{Micros, SimClock};
@@ -54,6 +55,8 @@ pub struct SimLan {
     config: LanConfig,
     clock: SimClock,
     rng: StdRng,
+    faults: FaultPlan,
+    fault_rng: StdRng,
     next_seq: u64,
     next_node: u16,
     queue: BinaryHeap<Reverse<ScheduledDelivery>>,
@@ -69,6 +72,8 @@ impl SimLan {
             config,
             clock: SimClock::new(),
             rng: StdRng::seed_from_u64(config.seed),
+            faults: FaultPlan::none(),
+            fault_rng: StdRng::seed_from_u64(0),
             next_seq: 0,
             next_node: 0,
             queue: BinaryHeap::new(),
@@ -144,6 +149,20 @@ impl SimLan {
         lan.lock().stats.clone()
     }
 
+    /// Installs a fault-injection plan; faults are drawn from a dedicated RNG
+    /// stream seeded from [`FaultPlan::seed`], so the same plan and seed
+    /// reproduce the same fault schedule bit for bit.
+    pub fn set_fault_plan(lan: &SharedLan, plan: FaultPlan) {
+        let mut l = lan.lock();
+        l.fault_rng = StdRng::seed_from_u64(plan.seed);
+        l.faults = plan;
+    }
+
+    /// The currently installed fault plan.
+    pub fn fault_plan(lan: &SharedLan) -> FaultPlan {
+        lan.lock().faults.clone()
+    }
+
     /// Human-readable name of a node, if any.
     pub fn node_name(lan: &SharedLan, node: NodeId) -> Option<String> {
         lan.lock().node_names.get(&node).cloned()
@@ -189,13 +208,58 @@ impl SimLan {
         };
         self.stats.record_send(src.node, payload.len());
         let now = self.clock.now();
+        let inject = !self.faults.is_none();
         for to in targets {
             let dgram = Datagram { src, dst, payload: payload.clone(), delivered_at: Micros::ZERO };
+            if inject && self.faults.partitioned(now, src.node, to.node) {
+                self.stats.record_partition_drop();
+                continue;
+            }
+            // Fault decisions are drawn *before* the link-loss draw so the
+            // fault stream consumes its RNG identically whether or not the
+            // link model itself is lossy.
+            let (fault_dropped, reordered, duplicated) = if inject {
+                let rule = self.faults.rule_for(src.node, to.node);
+                let dropped = rule.drop_probability > 0.0
+                    && self.fault_rng.gen_bool(rule.drop_probability.clamp(0.0, 1.0));
+                let reordered = rule.reorder_probability > 0.0
+                    && self.fault_rng.gen_bool(rule.reorder_probability.clamp(0.0, 1.0));
+                let duplicated = rule.duplicate_probability > 0.0
+                    && self.fault_rng.gen_bool(rule.duplicate_probability.clamp(0.0, 1.0));
+                (dropped, reordered, duplicated)
+            } else {
+                (false, false, false)
+            };
+            if fault_dropped {
+                self.stats.record_fault_drop();
+                continue;
+            }
             if self.config.link.sample_loss(&mut self.rng) {
                 self.stats.record_drop();
                 continue;
             }
-            let delay = self.config.link.sample_delay(&dgram, &mut self.rng);
+            let mut delay = self.config.link.sample_delay(&dgram, &mut self.rng);
+            if inject {
+                delay += Micros(self.faults.spike_extra_us(now));
+                if reordered {
+                    // Hold the datagram back so later traffic overtakes it.
+                    delay += Micros(self.faults.rule_for(src.node, to.node).reorder_delay_us);
+                    self.stats.record_fault_reorder();
+                }
+                if duplicated {
+                    let extra = self.config.link.sample_delay(&dgram, &mut self.fault_rng)
+                        + Micros(self.faults.spike_extra_us(now));
+                    self.stats.record_fault_duplicate();
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    self.queue.push(Reverse(ScheduledDelivery {
+                        at: now + extra,
+                        seq,
+                        to,
+                        dgram: dgram.clone(),
+                    }));
+                }
+            }
             let seq = self.next_seq;
             self.next_seq += 1;
             self.queue.push(Reverse(ScheduledDelivery { at: now + delay, seq, to, dgram }));
@@ -372,5 +436,127 @@ mod tests {
         let lan = SimLan::shared(LanConfig::fast_ethernet(1));
         let a = SimLan::attach(&lan, "display-left");
         assert_eq!(SimLan::node_name(&lan, a.local_addr().node).unwrap(), "display-left");
+    }
+
+    #[test]
+    fn fault_plan_drops_are_counted_separately_from_link_loss() {
+        let (lan, mut a, mut b) = lan_pair(LanConfig::fast_ethernet(1));
+        SimLan::set_fault_plan(&lan, FaultPlan::seeded(3).with_drop_probability(0.5));
+        for _ in 0..200 {
+            a.send(Destination::Unicast(b.local_addr()), b"d").unwrap();
+        }
+        SimLan::run_until_idle(&lan);
+        let delivered = b.poll().unwrap().len();
+        let stats = SimLan::stats(&lan);
+        assert!(stats.fault_drops > 40 && stats.fault_drops < 160, "{}", stats.fault_drops);
+        assert_eq!(stats.fault_drops, stats.datagrams_dropped, "link itself is lossless");
+        assert_eq!(delivered as u64 + stats.fault_drops, 200);
+    }
+
+    #[test]
+    fn fault_duplicates_deliver_extra_copies() {
+        let (lan, mut a, mut b) = lan_pair(LanConfig::fast_ethernet(1));
+        SimLan::set_fault_plan(&lan, FaultPlan::seeded(4).with_duplicate_probability(1.0));
+        for _ in 0..10 {
+            a.send(Destination::Unicast(b.local_addr()), b"d").unwrap();
+        }
+        SimLan::run_until_idle(&lan);
+        assert_eq!(b.poll().unwrap().len(), 20);
+        assert_eq!(SimLan::stats(&lan).fault_duplicates, 10);
+    }
+
+    #[test]
+    fn reordering_lets_later_traffic_overtake() {
+        let config = LanConfig {
+            link: crate::link::LinkModel {
+                jitter_us: 0,
+                ..crate::link::LinkModel::fast_ethernet()
+            },
+            seed: 5,
+            mtu: 65_507,
+        };
+        let (lan, mut a, mut b) = lan_pair(config);
+        // Only the first datagram is reordered (held back 50 ms).
+        SimLan::set_fault_plan(&lan, FaultPlan::seeded(6).with_reordering(1.0, 50_000));
+        a.send(Destination::Unicast(b.local_addr()), &[0u8]).unwrap();
+        SimLan::set_fault_plan(&lan, FaultPlan::none());
+        a.send(Destination::Unicast(b.local_addr()), &[1u8]).unwrap();
+        SimLan::run_until_idle(&lan);
+        let order: Vec<u8> = b.poll().unwrap().iter().map(|d| d.payload[0]).collect();
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn partition_window_severs_and_heals() {
+        let (lan, mut a, mut b) = lan_pair(LanConfig::fast_ethernet(1));
+        let isolated = vec![b.local_addr().node];
+        SimLan::set_fault_plan(
+            &lan,
+            FaultPlan::seeded(7).with_partition(Micros::ZERO, Micros::from_millis(100), isolated),
+        );
+        a.send(Destination::Unicast(b.local_addr()), b"lost").unwrap();
+        SimLan::advance(&lan, Micros::from_millis(200));
+        assert!(b.poll().unwrap().is_empty());
+        assert_eq!(SimLan::stats(&lan).partition_drops, 1);
+        // After the window closes traffic flows again.
+        a.send(Destination::Unicast(b.local_addr()), b"heals").unwrap();
+        SimLan::run_until_idle(&lan);
+        assert_eq!(b.poll().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn latency_spike_delays_traffic_inside_the_window() {
+        let config = LanConfig::ideal(1);
+        let (lan, mut a, mut b) = lan_pair(config);
+        SimLan::set_fault_plan(
+            &lan,
+            FaultPlan::seeded(8).with_spike(Micros::ZERO, Micros::from_millis(10), 5_000),
+        );
+        a.send(Destination::Unicast(b.local_addr()), b"slow").unwrap();
+        SimLan::advance(&lan, Micros::from_millis(4));
+        assert!(b.poll().unwrap().is_empty(), "spike must delay the ideal-link datagram");
+        SimLan::advance(&lan, Micros::from_millis(2));
+        assert_eq!(b.poll().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn fault_stream_is_deterministic_and_independent_of_link_jitter() {
+        let run = |lan_seed| {
+            let (lan, mut a, mut b) = lan_pair(LanConfig::fast_ethernet(lan_seed));
+            SimLan::set_fault_plan(&lan, FaultPlan::seeded(99).with_drop_probability(0.3));
+            for _ in 0..100 {
+                a.send(Destination::Unicast(b.local_addr()), b"x").unwrap();
+            }
+            SimLan::run_until_idle(&lan);
+            b.poll().unwrap().len()
+        };
+        // Same fault seed, different jitter seed: identical drop pattern (the
+        // fault RNG never interleaves with the link RNG).
+        assert_eq!(run(1), run(2));
+    }
+
+    #[test]
+    fn fault_stream_is_independent_of_a_lossy_link_model() {
+        // Fault decisions are drawn before the link's own loss draw, so even
+        // on a lossy link model the fault schedule depends only on the fault
+        // seed and the traffic sequence, not on the LAN seed.
+        let run = |lan_seed| {
+            let (lan, mut a, mut b) = lan_pair(LanConfig::legacy_ethernet(lan_seed).with_loss(0.2));
+            SimLan::set_fault_plan(&lan, FaultPlan::seeded(99).with_drop_probability(0.3));
+            for _ in 0..300 {
+                a.send(Destination::Unicast(b.local_addr()), b"x").unwrap();
+            }
+            SimLan::run_until_idle(&lan);
+            b.poll().unwrap();
+            SimLan::stats(&lan)
+        };
+        let first = run(1);
+        let second = run(2);
+        assert_eq!(first.fault_drops, second.fault_drops);
+        // The link's own losses do differ between the two seeds.
+        assert_ne!(
+            first.datagrams_dropped - first.fault_drops,
+            second.datagrams_dropped - second.fault_drops
+        );
     }
 }

@@ -37,4 +37,4 @@ pub use config::{GpuGeneration, OperatorKind, SimulatorConfig};
 pub use fom::CraneFom;
 pub use operator::{ExamOperator, IdleOperator, Observation, Operator, RecklessOperator};
 pub use simulator::{CraneSimulator, SessionReport};
-pub use telemetry::{SharedTelemetry, TelemetrySnapshot};
+pub use telemetry::{FrameDigest, SharedTelemetry, TelemetrySnapshot, TelemetryTrace};

@@ -5,8 +5,10 @@
 //! computers hosting the dynamics, dashboard + scenario, instructor + audio and
 //! motion-platform modules — all glued together by the Communication Backbone.
 
-use cod_cluster::{frame_period_for_fps, Cluster, ClusterConfig, ComputerId, FrameSyncServer};
-use cod_net::{LanConfig, LanStats, Micros};
+use cod_cluster::{
+    frame_period_for_fps, Cluster, ClusterConfig, ComputerId, FrameRecord, FrameSyncServer,
+};
+use cod_net::{FaultPlan, LanConfig, LanStats, Micros};
 use render_sim::GpuCostModel;
 use serde::{Deserialize, Serialize};
 
@@ -228,6 +230,30 @@ impl CraneSimulator {
     /// Returns the first error raised by a module or the backbone.
     pub fn run_frames(&mut self, frames: usize) -> Result<(), CbError> {
         self.cluster.run_frames(frames)
+    }
+
+    /// Runs exactly one frame and returns its step-level record — the hook the
+    /// testkit uses to interleave trace recording and invariant checks with
+    /// the executive.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error raised by a module or the backbone.
+    pub fn step_frame(&mut self) -> Result<FrameRecord, CbError> {
+        self.cluster.run_frame()
+    }
+
+    /// Read access to the underlying cluster (rack layout, metrics, kernels),
+    /// used by invariant checkers to audit CB channel tables.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Installs a fault-injection plan on the cluster LAN. Usually called right
+    /// after construction so the Communication Backbone initializes over a
+    /// healthy network and the faults hit the running session.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.cluster.set_fault_plan(plan);
     }
 
     /// Plugs an additional display channel into the running system — the

@@ -178,8 +178,10 @@ impl LogicalProcess for VisualDisplayLp {
         }
 
         if self.sync.is_waiting() {
-            // Blocked on the swap lock: just poll for the release.
+            // Blocked on the swap lock: poll for the release, re-reporting
+            // ready if the barrier looks stalled (lost LAN datagram).
             self.sync.poll_release(cb);
+            self.sync.resend_ready_if_stalled(cb)?;
             self.last_frame_time = Micros(500);
         } else {
             let frame_time = self.render_frame();
@@ -194,9 +196,13 @@ impl LogicalProcess for VisualDisplayLp {
             if t.channel_frame_times.len() <= channel {
                 t.channel_frame_times.resize(channel + 1, Micros::ZERO);
             }
+            if t.channel_frames_swapped.len() <= channel {
+                t.channel_frames_swapped.resize(channel + 1, 0);
+            }
             if frame_time > Micros(1_000) {
                 t.channel_frame_times[channel] = frame_time;
             }
+            t.channel_frames_swapped[channel] = frames;
             t.frames = t.frames.max(frames);
         });
         Ok(())

@@ -1,6 +1,7 @@
 //! A z-buffered RGB framebuffer.
 
 use crane_scene::mesh::Color;
+use sim_math::Fnv1a;
 
 /// A color + depth framebuffer.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,6 +93,20 @@ impl Framebuffer {
         }
         out
     }
+
+    /// A stable FNV-1a checksum of the RGB contents (dimensions included), used
+    /// by the golden-image tests instead of eyeballing PPM screenshots.
+    pub fn checksum(&self) -> u64 {
+        let mut hash = Fnv1a::new();
+        hash.write_u64(self.width as u64);
+        hash.write_u64(self.height as u64);
+        for c in &self.color {
+            hash.write_u8(c.r);
+            hash.write_u8(c.g);
+            hash.write_u8(c.b);
+        }
+        hash.finish()
+    }
 }
 
 #[cfg(test)]
@@ -136,5 +151,18 @@ mod tests {
     #[should_panic]
     fn zero_size_rejected() {
         let _ = Framebuffer::new(0, 10);
+    }
+
+    #[test]
+    fn checksum_is_content_sensitive_and_stable() {
+        let mut a = Framebuffer::new(4, 4);
+        let mut b = Framebuffer::new(4, 4);
+        assert_eq!(a.checksum(), b.checksum());
+        a.set_pixel(2, 2, 1.0, Color::new(7, 8, 9));
+        assert_ne!(a.checksum(), b.checksum());
+        b.set_pixel(2, 2, 1.0, Color::new(7, 8, 9));
+        assert_eq!(a.checksum(), b.checksum());
+        // Same contents, different geometry: still distinct.
+        assert_ne!(Framebuffer::new(2, 8).checksum(), Framebuffer::new(8, 2).checksum());
     }
 }

@@ -167,6 +167,45 @@ mod tests {
     }
 
     #[test]
+    fn golden_image_checksums_of_the_three_channels() {
+        // The golden-image regression: render the three 64x48 channels of the
+        // standard training world from a fixed camera and compare framebuffer
+        // checksums, replacing eyeballing of the PPM screenshots. If a change
+        // *intentionally* alters rendering, regenerate with:
+        //   view.renderer(c).framebuffer().checksum()
+        // and update the constants below.
+        let world = TrainingWorld::build();
+        let mut view = SurroundView::new(3, 64, 48, 120f64.to_radians());
+        let camera = Camera::look_at(Vec3::new(0.0, 5.0, -55.0), Vec3::new(0.0, 2.0, 40.0));
+        view.render(&world.scene, &camera);
+        let checksums: [u64; 3] =
+            core::array::from_fn(|c| view.renderer(c).framebuffer().checksum());
+
+        // The scene path goes through f64 sin/cos, whose last-ulp results are
+        // platform-libm dependent, so the exact constants are only asserted on
+        // the platform CI runs; other platforms still get the structural and
+        // stability checks below.
+        #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+        {
+            const GOLDEN: [u64; 3] =
+                [0x6ba0_2a5c_fb05_12d8, 0xc2ac_e342_ecfd_a978, 0xf84d_f7aa_497e_61fb];
+            assert_eq!(
+                checksums, GOLDEN,
+                "surround rendering changed; if intentional, update the golden checksums"
+            );
+        }
+        // The three views really are distinct images.
+        assert_ne!(checksums[0], checksums[1]);
+        assert_ne!(checksums[1], checksums[2]);
+
+        // Re-rendering the same frame is bit-stable (the golden values are
+        // meaningful, not an accident of initialization).
+        view.render(&world.scene, &camera);
+        let again: [u64; 3] = core::array::from_fn(|c| view.renderer(c).framebuffer().checksum());
+        assert_eq!(again, checksums);
+    }
+
+    #[test]
     fn more_channels_do_not_change_the_synchronized_period_model() {
         let three = SurroundView::new(3, 64, 48, 2.0).estimate(3_000);
         let five = SurroundView::new(5, 64, 48, 2.5).estimate(3_000);

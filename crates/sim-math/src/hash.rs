@@ -1,0 +1,75 @@
+//! A stable 64-bit FNV-1a hasher.
+//!
+//! Golden-image checksums and telemetry-trace fingerprints must hash
+//! identically across runs, platforms and Rust versions, which the standard
+//! library's `DefaultHasher` does not guarantee. Both `render-sim` and the
+//! core telemetry use this one implementation so the two can never drift.
+
+/// Incremental FNV-1a over bytes and little-endian integers.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+impl Fnv1a {
+    /// Starts a hash at the FNV-1a offset basis.
+    pub const fn new() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.write_u8(*b);
+        }
+    }
+
+    /// Feeds one byte.
+    pub fn write_u8(&mut self, byte: u8) {
+        self.0 ^= u64::from(byte);
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    /// Feeds a `u64` as little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_fnv1a_reference_vectors() {
+        // Classic test vectors for 64-bit FNV-1a.
+        let hash = |s: &str| {
+            let mut h = Fnv1a::new();
+            h.write_bytes(s.as_bytes());
+            h.finish()
+        };
+        assert_eq!(hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(hash("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(hash("foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn write_u64_is_order_sensitive() {
+        let mut a = Fnv1a::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fnv1a::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

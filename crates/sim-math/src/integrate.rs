@@ -97,6 +97,58 @@ mod tests {
         assert!(max_energy < 0.6, "energy drifted: {max_energy}");
     }
 
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn prop_rk4_energy_bounded_across_1k_steps(x0 in -2.0..2.0f64, v0 in -2.0..2.0f64,
+                                                   dt in 0.001..0.02f64) {
+            // Harmonic oscillator from a random initial condition: total energy
+            // 0.5*(x^2 + v^2) must stay within a whisker of its initial value
+            // for a thousand RK4 steps (RK4 damps very slightly, never grows).
+            let mut state = vec![x0, v0];
+            let e0 = 0.5 * (x0 * x0 + v0 * v0);
+            for i in 0..1_000 {
+                state = rk4_step(&state, sho_deriv, i as f64 * dt, dt);
+                let e = 0.5 * (state[0] * state[0] + state[1] * state[1]);
+                prop_assert!(e <= e0 * 1.000_001 + 1e-12, "energy grew: {e} > {e0}");
+                prop_assert!(e >= e0 * 0.99 - 1e-12, "energy collapsed: {e} < {e0}");
+            }
+        }
+
+        #[test]
+        fn prop_symplectic_euler_energy_bounded_across_1k_steps(x0 in -2.0..2.0f64,
+                                                                v0 in -2.0..2.0f64,
+                                                                omega in 0.5..2.0f64) {
+            // Spring with random stiffness: the symplectic integrator's energy
+            // oscillates but stays bounded (no secular drift).
+            let dt = 0.01;
+            let (mut x, mut v) = (x0, v0);
+            let k = omega * omega;
+            let e0 = 0.5 * (k * x0 * x0 + v0 * v0);
+            for _ in 0..1_000 {
+                let (nx, nv) = semi_implicit_euler_step(x, v, |x, _| -k * x, dt);
+                x = nx;
+                v = nv;
+                let e = 0.5 * (k * x * x + v * v);
+                prop_assert!(e <= e0 * 1.05 + 1e-9, "energy drifted: {e} vs {e0}");
+            }
+        }
+
+        #[test]
+        fn prop_rk4_linear_system_matches_exact_solution(x0 in -3.0..3.0f64,
+                                                         rate in -1.0..1.0f64) {
+            // x' = rate * x has the exact solution x0 * exp(rate * t).
+            let dt = 0.01;
+            let mut s = vec![x0];
+            for i in 0..100 {
+                s = rk4_step(&s, |_, s| vec![rate * s[0]], i as f64 * dt, dt);
+            }
+            let exact = x0 * (rate * 1.0f64).exp();
+            prop_assert!((s[0] - exact).abs() < 1e-8, "rk4 {} vs exact {exact}", s[0]);
+        }
+    }
+
     #[test]
     fn rk4_converges_with_smaller_steps() {
         // Error at t=1 for x' = x should shrink roughly as dt^4.

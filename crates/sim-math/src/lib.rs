@@ -18,6 +18,7 @@
 
 pub mod angle;
 pub mod filter;
+pub mod hash;
 pub mod integrate;
 pub mod interp;
 pub mod mat;
@@ -28,6 +29,7 @@ pub mod vec;
 
 pub use angle::{normalize_angle, wrap_to_pi, Deg, Rad};
 pub use filter::{HighPass, LowPass, RateLimiter};
+pub use hash::Fnv1a;
 pub use integrate::{rk4_step, semi_implicit_euler_step};
 pub use interp::{catmull_rom, hermite, lerp, smoothstep};
 pub use mat::{Mat3, Mat4};

@@ -265,5 +265,49 @@ mod tests {
         fn prop_unit_norm(q in arb_quat()) {
             prop_assert!((q.norm() - 1.0).abs() < 1e-9);
         }
+
+        #[test]
+        fn prop_normalized_restores_unit_length(w in -4.0..4.0f64, x in -4.0..4.0f64,
+                                                y in -4.0..4.0f64, z in -4.0..4.0f64) {
+            let q = Quat::new(w, x, y, z);
+            let n = q.normalized();
+            // Any raw quaternion normalizes to exact unit length (or identity
+            // for the near-zero case).
+            prop_assert!((n.norm() - 1.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_slerp_preserves_unit_norm(a in arb_quat(), b in arb_quat(), t in 0.0..1.0f64) {
+            let s = a.slerp(&b, t);
+            prop_assert!((s.norm() - 1.0).abs() < 1e-9, "slerp denormalized: {}", s.norm());
+        }
+
+        #[test]
+        fn prop_slerp_angle_is_monotone_along_t(a in arb_quat(), b in arb_quat()) {
+            // The angular distance from the start grows with t on [0, 1].
+            let quarter = a.slerp(&b, 0.25);
+            let half = a.slerp(&b, 0.5);
+            let full = a.slerp(&b, 1.0);
+            prop_assert!(a.angle_to(&quarter) <= a.angle_to(&half) + 1e-9);
+            prop_assert!(a.angle_to(&half) <= a.angle_to(&full) + 1e-9);
+        }
+
+        #[test]
+        fn prop_unit_norm_preserved_across_1k_composed_steps(axis_x in -1.0..1.0f64,
+                                                             axis_y in -1.0..1.0f64,
+                                                             angle in 0.001..0.1f64) {
+            // Repeatedly composing a small per-frame rotation (as the dynamics
+            // module does every step) must not drift off the unit sphere when
+            // renormalizing, which is what the visual channels rely on.
+            let step = Quat::from_axis_angle(Vec3::new(axis_x, axis_y, 1.0), angle);
+            let mut q = Quat::identity();
+            for _ in 0..1_000 {
+                q = (step * q).normalized();
+            }
+            prop_assert!((q.norm() - 1.0).abs() < 1e-12, "drifted to {}", q.norm());
+            // The orientation stays a genuine rotation: lengths are preserved.
+            let v = Vec3::new(0.3, -1.2, 2.0);
+            prop_assert!((q.rotate(v).length() - v.length()).abs() < 1e-9);
+        }
     }
 }

@@ -14,20 +14,24 @@ fn main() {
     let world = TrainingWorld::build();
     println!("training world: {} polygons (paper: 3 235)", world.polygon_count());
 
-    // Render one frame of each channel to a PPM screenshot.
+    // Render one frame of each channel to a PPM screenshot under target/
+    // (screenshots are build artifacts, not repository content).
+    let out_dir = std::path::Path::new("target").join("surround");
+    std::fs::create_dir_all(&out_dir).expect("output directory created");
     let mut view = SurroundView::new(3, 320, 240, 120f64.to_radians());
     let camera = Camera::look_at(Vec3::new(0.0, 5.0, -55.0), Vec3::new(0.0, 2.0, 40.0));
     let stats = view.render(&world.scene, &camera);
     for (channel, channel_stats) in stats.channels.iter().enumerate() {
-        let path = format!("surround_channel_{channel}.ppm");
+        let path = out_dir.join(format!("surround_channel_{channel}.ppm"));
         std::fs::write(&path, view.renderer(channel).framebuffer().to_ppm())
             .expect("screenshot written");
         println!(
-            "channel {channel}: {} triangles submitted, {} drawn, {} px -> {} ({path})",
+            "channel {channel}: {} triangles submitted, {} drawn, {} px -> {} ({})",
             channel_stats.triangles_submitted,
             channel_stats.triangles_drawn,
             channel_stats.pixels_written,
             stats.channel_times[channel],
+            path.display(),
         );
     }
     println!(

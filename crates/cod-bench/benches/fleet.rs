@@ -1,0 +1,11 @@
+//! Experiment E9 (`fleet`) — fleet serving throughput versus shard count;
+//! see `crates/cod-bench/EXPERIMENTS.md`. Thin wrapper over
+//! `cod_bench::experiments::fleet` so `cargo bench` and `bench_report`
+//! report identical statistics. Set `COD_BENCH_QUICK=1` for a smoke run.
+
+use cod_bench::experiments::{fleet, ExperimentCtx};
+
+fn main() {
+    let result = fleet::run(&ExperimentCtx::from_env());
+    println!("{}", result.summary());
+}

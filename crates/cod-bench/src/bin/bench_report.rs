@@ -1,4 +1,4 @@
-//! Runs all eight experiments of `EXPERIMENTS.md` in one pass, prints the
+//! Runs all nine experiments of `EXPERIMENTS.md` in one pass, prints the
 //! paper-style comparison table and writes the machine-readable
 //! `BENCH_cod.json` report.
 //!
@@ -65,7 +65,7 @@ fn main() -> ExitCode {
     let measure = if args.quick { MeasureConfig::quick() } else { MeasureConfig::from_env() };
     let ctx = ExperimentCtx { measure, tables: args.tables };
     println!(
-        "running experiments E1-E8 ({} budget: {} samples/experiment)...",
+        "running experiments E1-E9 ({} budget: {} samples/experiment)...",
         if args.quick { "quick" } else { "full" },
         measure.samples
     );

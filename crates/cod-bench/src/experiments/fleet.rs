@@ -1,0 +1,89 @@
+//! Experiment E9 — fleet serving throughput versus shard count.
+//!
+//! The serving-layer counterpart of E8: instead of asking how fast one
+//! session's modules run across the rack, E9 asks how many *sessions per
+//! second* a pool of shards retires, and how that throughput scales as the
+//! pool grows. The reproduction table sweeps 1–8 shards over the same seeded
+//! workload; the timed routine runs a whole small fleet to drain. Throughput
+//! is accounted in modeled time, so the scaling numbers are deterministic;
+//! the `fleet_report` binary gates the 1 → 4 shard scaling at >= 2x.
+
+use cod_fleet::{run_fleet, FleetConfig, ShardConfig, WorkloadConfig};
+
+use super::ExperimentCtx;
+use crate::measure::measure;
+use crate::report::{DerivedMetric, ExperimentResult};
+
+/// The workload both the table and the timed routine serve.
+fn workload(sessions: usize) -> WorkloadConfig {
+    WorkloadConfig { sessions, seed: 0xC0D, base_frames: 24, mean_interarrival_ticks: 1 }
+}
+
+fn config(shards: usize, sessions: usize) -> FleetConfig {
+    FleetConfig {
+        shards,
+        shard: ShardConfig { slots: 4, batch_frames: 8, pool_per_shape: 2 },
+        max_pending: 16,
+        workload: workload(sessions),
+        parallel: false,
+    }
+}
+
+/// Modeled sessions/sec for a shard count on the standard E9 workload.
+pub fn sessions_per_sec(shards: usize) -> f64 {
+    run_fleet(&config(shards, 32)).expect("fleet drains").sessions_per_sec()
+}
+
+fn print_table(one: f64, four: f64) {
+    println!("\n=== E9: fleet throughput vs shard count (32 sessions, modeled time) ===");
+    println!("shards | sessions/s | scaling");
+    for shards in [1usize, 2, 4, 8] {
+        let sps = match shards {
+            1 => one,
+            4 => four,
+            n => sessions_per_sec(n),
+        };
+        println!("{shards:>6} | {sps:>10.2} | {:>6.2}x", sps / one.max(1e-12));
+    }
+    println!();
+}
+
+/// Runs E9 and returns its result.
+pub fn run(ctx: &ExperimentCtx) -> ExperimentResult {
+    let one = sessions_per_sec(1);
+    let four = sessions_per_sec(4);
+    if ctx.tables {
+        print_table(one, four);
+    }
+
+    // Headline routine: serve a small fleet to drain on four shards.
+    let timed_config = config(4, 12);
+    let m = measure(&ctx.measure, || {
+        run_fleet(&timed_config).expect("fleet drains");
+    });
+
+    let scaling = four / one.max(1e-12);
+    if ctx.tables {
+        println!(
+            "measured: 1 shard {one:.2} sessions/s vs 4 shards {four:.2} sessions/s \
+             (scaling {scaling:.2}x)\n"
+        );
+    }
+    ExperimentResult {
+        id: "E9".into(),
+        name: "fleet".into(),
+        bench_target: "fleet".into(),
+        metric: "serve a 12-session fleet to drain on 4 shards".into(),
+        timing: m.stats,
+        iters_per_sample: m.iters_per_sample,
+        comparison: None,
+        derived: vec![
+            DerivedMetric::new("sessions_per_sec_1_shard", "1/s", one),
+            DerivedMetric::new("sessions_per_sec_4_shards", "1/s", four),
+            DerivedMetric::new("scaling_1_to_4_shards", "x", scaling),
+        ],
+        notes: "Throughput is modeled (sum of per-tick critical-shard costs), so the scaling \
+                is deterministic; `fleet_report --quick` gates 1 -> 4 shard scaling at >= 2x."
+            .into(),
+    }
+}

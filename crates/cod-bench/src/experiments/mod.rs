@@ -1,4 +1,4 @@
-//! The eight experiments of `EXPERIMENTS.md`, as library code.
+//! The nine experiments of `EXPERIMENTS.md`, as library code.
 //!
 //! Each submodule owns one experiment: it prints the experiment's
 //! reproduction table (the analytic series the paper's figures correspond
@@ -11,6 +11,7 @@
 pub mod cluster_speedup;
 pub mod collision;
 pub mod dynamics;
+pub mod fleet;
 pub mod framerate;
 pub mod init_protocol;
 pub mod platform;
@@ -53,7 +54,7 @@ impl ExperimentCtx {
     }
 }
 
-/// Runs all eight experiments in order, E1 first.
+/// Runs all nine experiments in order, E1 first.
 pub fn all(ctx: &ExperimentCtx) -> Vec<ExperimentResult> {
     vec![
         framerate::run(ctx),
@@ -64,5 +65,6 @@ pub fn all(ctx: &ExperimentCtx) -> Vec<ExperimentResult> {
         init_protocol::run(ctx),
         sync_overhead::run(ctx),
         cluster_speedup::run(ctx),
+        fleet::run(ctx),
     ]
 }

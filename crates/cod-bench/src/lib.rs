@@ -7,9 +7,9 @@
 //!   MAD outlier rejection and bootstrap confidence intervals;
 //! - [`report`] — the `BENCH_cod.json` schema and the measured-vs-paper
 //!   comparison table;
-//! - [`json`] — the hand-rolled JSON tree backing the report (the vendored
-//!   serde is a marker-trait stub);
-//! - [`experiments`] — experiments E1–E8 themselves, shared by the bench
+//! - [`json`] — re-export of the shared [`cod_json`] tree backing the report
+//!   (the vendored serde is a marker-trait stub);
+//! - [`experiments`] — experiments E1–E9 themselves, shared by the bench
 //!   targets and the `bench_report` runner binary.
 
 pub mod experiments;

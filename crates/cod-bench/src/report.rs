@@ -52,10 +52,10 @@ pub struct Comparison {
     pub paper: f64,
 }
 
-/// Result of one experiment (E1–E8).
+/// Result of one experiment (`"E1"`–`"E9"`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentResult {
-    /// Experiment id, `"E1"` .. `"E8"`.
+    /// Experiment id, `"E1"` .. `"E9"`.
     pub id: String,
     /// Short experiment name, matching the bench target.
     pub name: String,

@@ -209,6 +209,33 @@ impl<T: Transport> CbKernel<T> {
             .collect()
     }
 
+    /// Resets the kernel's session-evolving state to the canonical session
+    /// epoch: pending reflections/interactions are discarded, channel time
+    /// bounds and connection-retry timers are cleared, the protocol broadcast
+    /// timers are re-anchored at `epoch` and the counters are zeroed. The
+    /// long-lived topology — registered LPs, publications, subscriptions,
+    /// object instances and established virtual channels — is kept, which is
+    /// what makes recycling a simulator cheap: the initialization protocol
+    /// does not have to run again.
+    ///
+    /// Called once at the end of cluster initialization *and* on every session
+    /// reset, so a recycled kernel and a freshly initialized one start each
+    /// session from bit-identical state.
+    pub fn begin_session(&mut self, epoch: Micros) {
+        self.now = epoch;
+        for lp in self.lps.values_mut() {
+            lp.reflections.clear();
+            lp.interactions.clear();
+        }
+        self.channel_time_bounds.clear();
+        self.connect_last_sent.clear();
+        self.outbox.clear();
+        for pending in self.pending.iter_mut() {
+            pending.begin_session(epoch);
+        }
+        self.stats = CbStats::default();
+    }
+
     // ------------------------------------------------------------------
     // LP registration and declaration services
     // ------------------------------------------------------------------

@@ -86,6 +86,16 @@ impl PendingSubscription {
         }
     }
 
+    /// Normalizes the broadcast timers to the session epoch so a recycled
+    /// kernel re-advertises on the same schedule as a freshly initialized one.
+    /// Channel setup progress is kept — established channels survive a session
+    /// reset.
+    pub fn begin_session(&mut self, epoch: Micros) {
+        self.issued_at = epoch;
+        self.last_broadcast = Some(epoch);
+        self.broadcasts_sent = 0;
+    }
+
     /// Records that a broadcast was sent at `now`.
     pub fn record_broadcast(&mut self, now: Micros) {
         self.last_broadcast = Some(now);

@@ -204,6 +204,29 @@ impl Cluster {
         Ok(())
     }
 
+    /// Rewinds the whole cluster — LAN, CB kernels, resident LPs, executive
+    /// clock and metrics — to the canonical session start at `epoch`, keeping
+    /// the topology (computers, channels, registered objects) intact. Any
+    /// installed fault plan is removed; install the next session's plan after
+    /// this call.
+    ///
+    /// Called once at the end of [`crate::Cluster::initialize`]-driven
+    /// construction and on every session reset, so recycled and freshly built
+    /// clusters start sessions from bit-identical state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error raised by an LP's session reset.
+    pub fn begin_session(&mut self, epoch: Micros, seed: u64) -> Result<(), CbError> {
+        SimLan::begin_session(&self.lan, epoch, seed);
+        for computer in self.computers.iter_mut() {
+            computer.begin_session(epoch, seed)?;
+        }
+        self.now = epoch;
+        self.metrics = ClusterMetrics::default();
+        Ok(())
+    }
+
     /// Runs one simulation frame across the whole cluster, returning the
     /// step-level [`FrameRecord`] for trace recorders and invariant checkers.
     ///

@@ -105,6 +105,22 @@ impl Computer {
         Ok(lp)
     }
 
+    /// Resets this computer for a new session: the CB kernel's session state
+    /// is rewound to `epoch` and every resident LP gets its
+    /// [`LogicalProcess::begin_session`] call.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error raised by an LP's session reset.
+    pub fn begin_session(&mut self, epoch: Micros, seed: u64) -> Result<(), CbError> {
+        self.kernel.begin_session(epoch);
+        for (id, lp) in self.lps.iter_mut() {
+            let mut ctx = LpContext::new(&mut self.kernel, *id);
+            lp.begin_session(&mut ctx, seed)?;
+        }
+        Ok(())
+    }
+
     /// Runs one simulation frame on this computer: every resident LP steps
     /// once, then the CB kernel is pumped at time `now`.
     ///

@@ -100,6 +100,15 @@ impl FrameSyncServer {
     pub fn go_resends(&self) -> u64 {
         self.go_resends
     }
+
+    /// Rewinds the barrier to frame zero with no pending ready reports, as if
+    /// freshly constructed.
+    pub fn reset_session(&mut self) {
+        self.current_frame = 0;
+        self.pending.clear();
+        self.frames_released = 0;
+        self.go_resends = 0;
+    }
 }
 
 impl LogicalProcess for FrameSyncServer {
@@ -165,6 +174,11 @@ impl LogicalProcess for FrameSyncServer {
     fn last_step_cost(&self) -> Micros {
         self.step_cost
     }
+
+    fn begin_session(&mut self, _cb: &mut dyn CbApi, _seed: u64) -> Result<(), CbError> {
+        self.reset_session();
+        Ok(())
+    }
 }
 
 /// Number of unproductive release polls after which a waiting client re-sends
@@ -227,6 +241,16 @@ impl FrameSyncClient {
     /// suspected a lost barrier datagram and recovered).
     pub fn ready_resends(&self) -> u64 {
         self.ready_resends
+    }
+
+    /// Rewinds the client to frame zero, not waiting, as if freshly
+    /// constructed; call from the display LP's session reset.
+    pub fn reset_session(&mut self) {
+        self.frame = 0;
+        self.waiting_for_go = false;
+        self.frames_swapped = 0;
+        self.stalled_polls = 0;
+        self.ready_resends = 0;
     }
 
     /// Reports that rendering of the current frame finished and blocks the

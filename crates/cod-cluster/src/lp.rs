@@ -35,6 +35,21 @@ pub trait LogicalProcess: Send {
     fn last_step_cost(&self) -> Micros {
         Micros::ZERO
     }
+
+    /// Resets the LP's session-evolving state so the module starts the next
+    /// session exactly as a freshly constructed one would, without re-running
+    /// `init` (its publications, subscriptions and registered objects
+    /// survive). `seed` is the new session's seed for modules that own a
+    /// stochastic model. Modules without session state may keep the default
+    /// no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a CB service call fails.
+    fn begin_session(&mut self, cb: &mut dyn CbApi, seed: u64) -> Result<(), CbError> {
+        let _ = (cb, seed);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

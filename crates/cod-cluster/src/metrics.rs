@@ -27,6 +27,9 @@ pub struct ClusterMetrics {
     /// Largest whole-cluster frame cost (the frame-rate limiter of a
     /// single-computer, sequential execution of the same modules).
     pub max_sequential_frame_cost: Micros,
+    /// Sum of whole-cluster frame costs over every executed frame — what a
+    /// single machine hosting the entire virtual cluster in-process has spent.
+    pub total_sequential_cost: Micros,
 }
 
 impl ClusterMetrics {
@@ -44,6 +47,19 @@ impl ClusterMetrics {
         }
         if sequential > self.max_sequential_frame_cost {
             self.max_sequential_frame_cost = sequential;
+        }
+        self.total_sequential_cost += sequential;
+    }
+
+    /// Mean whole-cluster cost of one frame — the per-frame cost hint a
+    /// serving layer needs to predict how expensive keeping this session
+    /// resident is on a shard that hosts the virtual cluster in-process.
+    /// Zero before any frame has run.
+    pub fn mean_sequential_frame_cost(&self) -> Micros {
+        if self.frames_run == 0 {
+            Micros::ZERO
+        } else {
+            Micros(self.total_sequential_cost.0 / self.frames_run)
         }
     }
 

@@ -62,17 +62,19 @@ pub fn balance_load(loads: &[LpLoad], computers: usize) -> Placement {
     let mut assignments = vec![Vec::new(); computers];
     let mut totals = vec![Micros::ZERO; computers];
     for lp_index in order {
-        let target = totals
-            .iter()
-            .enumerate()
-            .min_by_key(|(i, t)| (**t, *i))
-            .map(|(i, _)| i)
-            .expect("at least one computer");
+        let target = least_loaded(&totals).expect("at least one computer");
         assignments[target].push(lp_index);
         totals[target] += loads[lp_index].cost;
     }
     let makespan = totals.iter().copied().max().unwrap_or(Micros::ZERO);
     Placement { assignments, loads: totals, makespan }
+}
+
+/// Index of the least-loaded bin (ties break toward the lowest index), or
+/// `None` for an empty slice — the placement primitive `balance_load` applies
+/// per item and a session-serving layer applies per arriving session.
+pub fn least_loaded(loads: &[Micros]) -> Option<usize> {
+    loads.iter().enumerate().min_by_key(|(i, load)| (**load, *i)).map(|(i, _)| i)
 }
 
 #[cfg(test)]

@@ -1,0 +1,142 @@
+//! Runs the fleet serving benchmark and writes the machine-readable
+//! `FLEET_cod.json` report.
+//!
+//! ```text
+//! cargo run --release -p cod-fleet --bin fleet_report [-- --quick] [--seed N] [--shards N] [--out PATH]
+//! ```
+//!
+//! The same seeded workload is served twice — on one shard (the baseline) and
+//! on `--shards` shards — and the ratio of their modeled sessions/sec is the
+//! fleet's scaling factor. Exits non-zero if scaling from 1 shard to 4+
+//! shards drops below 2x, mirroring the >=3x COD speedup gate of
+//! `bench_report`. The report carries no wall-clock stamp: two runs with the
+//! same seed produce byte-identical files.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use cod_fleet::{document, run_fleet, FleetConfig, FleetReport};
+
+/// Minimum acceptable sessions/sec scaling from one shard to the full fleet.
+const SCALING_FLOOR: f64 = 2.0;
+
+const USAGE: &str = "usage: fleet_report [--quick] [--seed N] [--shards N] [--out PATH]";
+
+struct Args {
+    quick: bool,
+    seed: u64,
+    shards: usize,
+    out: String,
+    help: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { quick: false, seed: 0xC0D, shards: 4, out: "FLEET_cod.json".into(), help: false };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--seed" => {
+                args.seed = argv
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| format!("--seed needs an integer\n{USAGE}"))?;
+            }
+            "--shards" => {
+                args.shards = argv
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| format!("--shards needs a positive integer\n{USAGE}"))?;
+            }
+            "--out" => {
+                args.out = argv.next().ok_or_else(|| format!("--out needs a path\n{USAGE}"))?;
+            }
+            "--help" | "-h" => args.help = true,
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+
+    let make_config = |shards: usize| {
+        if args.quick {
+            FleetConfig::quick(shards, args.seed)
+        } else {
+            FleetConfig::full(shards, args.seed)
+        }
+    };
+
+    let workload = make_config(args.shards).workload;
+    println!(
+        "fleet serving: {} sessions (seed {:#x}), {} shards vs 1-shard baseline ({} mode)",
+        workload.sessions,
+        args.seed,
+        args.shards,
+        if args.quick { "quick" } else { "full" },
+    );
+
+    let wall = Instant::now();
+    let baseline = match run_fleet(&make_config(1)) {
+        Ok(outcome) => outcome,
+        Err(err) => return die(&format!("baseline run failed: {err}")),
+    };
+    let baseline_wall = wall.elapsed();
+    let wall = Instant::now();
+    let fleet = match run_fleet(&make_config(args.shards)) {
+        Ok(outcome) => outcome,
+        Err(err) => return die(&format!("fleet run failed: {err}")),
+    };
+    let fleet_wall = wall.elapsed();
+
+    let baseline_report = FleetReport::from_outcome(&baseline);
+    let fleet_report = FleetReport::from_outcome(&fleet);
+
+    println!("\n--- 1-shard baseline ({baseline_wall:.2?} wall) ---");
+    print!("{}", baseline_report.render_table());
+    println!("\n--- {}-shard fleet ({fleet_wall:.2?} wall) ---", args.shards);
+    print!("{}", fleet_report.render_table());
+
+    let text = document(&baseline_report, &fleet_report, args.quick).to_pretty();
+    if let Err(err) = std::fs::write(&args.out, text) {
+        return die(&format!("cannot write {}: {err}", args.out));
+    }
+    println!("\nwrote {}", args.out);
+
+    let scaling = if baseline_report.sessions_per_sec > 0.0 {
+        fleet_report.sessions_per_sec / baseline_report.sessions_per_sec
+    } else {
+        0.0
+    };
+    if args.shards >= 4 && scaling < SCALING_FLOOR {
+        eprintln!(
+            "REGRESSION: sessions/sec scaling {scaling:.2}x (1 -> {} shards) fell below the {SCALING_FLOOR:.1}x floor",
+            args.shards
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "sessions/sec scaling 1 -> {} shards: {scaling:.2}x (floor {SCALING_FLOOR:.1}x) — ok",
+        args.shards
+    );
+    ExitCode::SUCCESS
+}
+
+fn die(msg: &str) -> ExitCode {
+    eprintln!("fleet_report: {msg}");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,384 @@
+//! The fleet executive: admit, place, batch-step and retire sessions across
+//! a pool of shards, deterministically.
+//!
+//! One fleet *tick* is the unit of serving time: arrivals due at the tick are
+//! offered to the bounded admission queue (overflow is rejected —
+//! backpressure), queued sessions are placed least-loaded-first onto shards
+//! with free slots, and every shard then advances each of its resident
+//! sessions by one batch of executive frames. Shards are independent, so the
+//! stepping fans out across OS threads when asked to; results are folded back
+//! in shard order, which keeps the outcome bit-identical whether the run was
+//! parallel or not.
+//!
+//! Throughput and utilization are accounted in *modeled* time (the same
+//! modeled CPU costs the cluster executive already records), so a fleet run
+//! is a pure function of its configuration: same seed, same report, byte for
+//! byte.
+
+use std::collections::VecDeque;
+
+use cod_cb::CbError;
+use cod_net::Micros;
+
+use crate::admission::{AdmissionConfig, AdmissionState};
+use crate::shard::{Completed, Shard, ShardConfig, ShardStats};
+use crate::workload::{generate, WorkloadConfig};
+
+/// Configuration of a fleet run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Number of shards.
+    pub shards: usize,
+    /// Per-shard sizing and pacing.
+    pub shard: ShardConfig,
+    /// Bound on the admission queue.
+    pub max_pending: usize,
+    /// The session workload.
+    pub workload: WorkloadConfig,
+    /// Step shards on OS threads (the outcome is identical either way).
+    pub parallel: bool,
+}
+
+impl FleetConfig {
+    /// The CI smoke configuration: 64 sessions over `shards` shards.
+    pub fn quick(shards: usize, seed: u64) -> FleetConfig {
+        FleetConfig {
+            shards,
+            shard: ShardConfig::default(),
+            max_pending: 16,
+            workload: WorkloadConfig::quick(seed),
+            parallel: true,
+        }
+    }
+
+    /// The full configuration: 256 sessions over `shards` shards.
+    pub fn full(shards: usize, seed: u64) -> FleetConfig {
+        FleetConfig {
+            shards,
+            shard: ShardConfig::default(),
+            max_pending: 32,
+            workload: WorkloadConfig::full(seed),
+            parallel: true,
+        }
+    }
+}
+
+/// What happened to one admitted session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionOutcome {
+    /// Session id (arrival order).
+    pub id: u64,
+    /// Descriptive name.
+    pub name: String,
+    /// Frames the session ran.
+    pub frames: usize,
+    /// Tick the session arrived at.
+    pub arrived_tick: u64,
+    /// Tick the session was placed at.
+    pub admitted_tick: u64,
+    /// Tick the session retired at.
+    pub completed_tick: u64,
+    /// Shard that hosted the session.
+    pub shard: usize,
+    /// Final exam score.
+    pub score: f64,
+    /// Whether the exam was passed.
+    pub passed: bool,
+    /// Modeled cost the session charged its shard.
+    pub cost: Micros,
+}
+
+impl SessionOutcome {
+    /// Arrival-to-retirement latency in fleet ticks.
+    pub fn latency_ticks(&self) -> u64 {
+        self.completed_tick.saturating_sub(self.arrived_tick) + 1
+    }
+}
+
+/// Everything a fleet run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOutcome {
+    /// The configuration that produced this outcome.
+    pub config: FleetConfig,
+    /// Fleet ticks executed until the last session drained.
+    pub ticks_run: u64,
+    /// Modeled serving time: the sum over ticks of the busiest shard's cost
+    /// (shards run concurrently, so each tick costs its critical shard).
+    pub elapsed_modeled: Micros,
+    /// Arrivals offered.
+    pub offered: u64,
+    /// Arrivals admitted (placed on a shard).
+    pub admitted: u64,
+    /// Sessions completed.
+    pub completed: u64,
+    /// Arrivals rejected by backpressure.
+    pub rejected: u64,
+    /// Rejections while a slot was free (must be zero).
+    pub rejected_with_free_slot: u64,
+    /// Largest admission-queue depth observed.
+    pub peak_pending: usize,
+    /// Per-session outcomes, in completion order.
+    pub sessions: Vec<SessionOutcome>,
+    /// Per-shard counters.
+    pub shard_stats: Vec<ShardStats>,
+}
+
+impl FleetOutcome {
+    /// Completed sessions per second of modeled serving time.
+    pub fn sessions_per_sec(&self) -> f64 {
+        let secs = self.elapsed_modeled.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+
+    /// The `p`-th percentile (0–100) of session latency in fleet ticks.
+    pub fn latency_percentile_ticks(&self, p: f64) -> u64 {
+        if self.sessions.is_empty() {
+            return 0;
+        }
+        let mut latencies: Vec<u64> =
+            self.sessions.iter().map(SessionOutcome::latency_ticks).collect();
+        latencies.sort_unstable();
+        let rank = ((p / 100.0) * (latencies.len() - 1) as f64).round() as usize;
+        latencies[rank.min(latencies.len() - 1)]
+    }
+
+    /// Fraction of the modeled serving time shard `i` spent busy.
+    pub fn shard_utilization(&self, i: usize) -> f64 {
+        let total = self.elapsed_modeled.as_secs_f64();
+        if total <= 0.0 {
+            0.0
+        } else {
+            (self.shard_stats[i].busy.as_secs_f64() / total).min(1.0)
+        }
+    }
+
+    /// Mean final score over completed sessions.
+    pub fn mean_score(&self) -> f64 {
+        if self.sessions.is_empty() {
+            return 0.0;
+        }
+        self.sessions.iter().map(|s| s.score).sum::<f64>() / self.sessions.len() as f64
+    }
+
+    /// Fraction of completed sessions that passed the exam.
+    pub fn pass_rate(&self) -> f64 {
+        if self.sessions.is_empty() {
+            return 0.0;
+        }
+        self.sessions.iter().filter(|s| s.passed).count() as f64 / self.sessions.len() as f64
+    }
+}
+
+/// Runs a whole fleet to drain: all arrivals offered, every admitted session
+/// completed. A pure function of the configuration — running it twice yields
+/// identical [`FleetOutcome`]s.
+///
+/// # Errors
+///
+/// Returns the first hard error raised by any session's executive.
+pub fn run_fleet(config: &FleetConfig) -> Result<FleetOutcome, CbError> {
+    let arrivals = generate(&config.workload);
+    let mut admission = AdmissionState::new(AdmissionConfig {
+        shards: config.shards,
+        slots_per_shard: config.shard.slots,
+        max_pending: config.max_pending,
+    });
+    let mut shards: Vec<Shard> = (0..config.shards).map(|i| Shard::new(i, config.shard)).collect();
+    let mut queue: VecDeque<(crate::workload::SessionSpec, u64)> = VecDeque::new();
+    let mut sessions: Vec<SessionOutcome> = Vec::with_capacity(arrivals.len());
+    let mut next_arrival = 0usize;
+    let mut elapsed = Micros::ZERO;
+    let mut tick = 0u64;
+
+    // Places the longest-waiting queued session, weighted by each shard's
+    // modeled backlog (the per-session cost hints). Returns false when the
+    // queue is empty or every slot is taken.
+    let place_one = |admission: &mut AdmissionState,
+                     shards: &mut Vec<Shard>,
+                     queue: &mut VecDeque<(crate::workload::SessionSpec, u64)>,
+                     tick: u64|
+     -> Result<bool, CbError> {
+        let backlog: Vec<Micros> = shards.iter().map(Shard::backlog_cost).collect();
+        let Some(target) = admission.place_weighted(&backlog) else { return Ok(false) };
+        let (spec, arrived) = queue.pop_front().expect("admission counted a queued session");
+        shards[target].admit(spec, arrived, tick)?;
+        Ok(true)
+    };
+
+    loop {
+        // 1. Offer the arrivals due at this tick to the bounded queue. A full
+        //    queue first drains into any free slot, so an arrival is only
+        //    ever rejected when the queue AND every slot are taken — never
+        //    while capacity sits idle.
+        while next_arrival < arrivals.len() && arrivals[next_arrival].tick <= tick {
+            while admission.pending() >= config.max_pending
+                && place_one(&mut admission, &mut shards, &mut queue, tick)?
+            {}
+            if admission.offer() {
+                queue.push_back((arrivals[next_arrival].spec.clone(), tick));
+            }
+            next_arrival += 1;
+        }
+
+        // 2. Place queued sessions least-loaded-first.
+        while place_one(&mut admission, &mut shards, &mut queue, tick)? {}
+
+        // 3. Batch-step every shard; fan out across threads when asked to.
+        let results = step_all(&mut shards, config.parallel)?;
+
+        // 4. Fold the results back in shard order (determinism) and account
+        //    the tick at the critical shard's cost.
+        let mut tick_makespan = Micros::ZERO;
+        for (shard_id, (completed, busy)) in results.into_iter().enumerate() {
+            tick_makespan = tick_makespan.max(busy);
+            for done in completed {
+                admission.complete(shard_id);
+                sessions.push(session_outcome(done, tick, shard_id));
+            }
+        }
+        elapsed += tick_makespan;
+        tick += 1;
+
+        let drained = next_arrival == arrivals.len()
+            && queue.is_empty()
+            && shards.iter().all(|s| s.resident_count() == 0);
+        if drained {
+            break;
+        }
+        assert!(
+            tick < arrivals.last().map(|a| a.tick).unwrap_or(0) + 1_000_000,
+            "fleet failed to drain: a session is starving"
+        );
+    }
+
+    debug_assert!(admission.violations().is_empty(), "{:?}", admission.violations());
+    Ok(FleetOutcome {
+        config: *config,
+        ticks_run: tick,
+        elapsed_modeled: elapsed,
+        offered: admission.offered,
+        admitted: admission.admitted,
+        completed: admission.completed,
+        rejected: admission.rejected,
+        rejected_with_free_slot: admission.rejected_with_free_slot,
+        peak_pending: admission.peak_pending,
+        sessions,
+        shard_stats: shards.into_iter().map(|s| s.stats).collect(),
+    })
+}
+
+fn session_outcome(done: Completed, tick: u64, shard: usize) -> SessionOutcome {
+    SessionOutcome {
+        id: done.id,
+        name: done.name,
+        frames: done.frames,
+        arrived_tick: done.arrived_tick,
+        admitted_tick: done.admitted_tick,
+        completed_tick: tick,
+        shard,
+        score: done.report.score,
+        passed: done.report.passed,
+        cost: done.cost,
+    }
+}
+
+type TickResult = (Vec<Completed>, Micros);
+
+/// Steps every shard once; sequentially, or on one OS thread per shard.
+fn step_all(shards: &mut [Shard], parallel: bool) -> Result<Vec<TickResult>, CbError> {
+    if !parallel || shards.len() <= 1 {
+        return shards.iter_mut().map(Shard::step_batch).collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> =
+            shards.iter_mut().map(|shard| scope.spawn(move || shard.step_batch())).collect();
+        handles.into_iter().map(|h| h.join().expect("shard thread panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config(shards: usize, seed: u64) -> FleetConfig {
+        FleetConfig {
+            shards,
+            shard: ShardConfig { slots: 2, batch_frames: 8, pool_per_shape: 1 },
+            max_pending: 4,
+            workload: WorkloadConfig {
+                sessions: 6,
+                seed,
+                base_frames: 16,
+                mean_interarrival_ticks: 1,
+            },
+            parallel: false,
+        }
+    }
+
+    #[test]
+    fn fleet_drains_and_conserves_sessions() {
+        let outcome = run_fleet(&tiny_config(2, 0xC0D)).unwrap();
+        assert_eq!(outcome.offered, 6);
+        assert_eq!(outcome.offered, outcome.completed + outcome.rejected);
+        assert_eq!(outcome.sessions.len(), outcome.completed as usize);
+        assert_eq!(outcome.rejected_with_free_slot, 0);
+        assert!(outcome.elapsed_modeled > Micros::ZERO);
+        assert!(outcome.sessions_per_sec() > 0.0);
+        for s in &outcome.sessions {
+            assert!(s.arrived_tick <= s.admitted_tick);
+            assert!(s.admitted_tick <= s.completed_tick);
+            assert!(s.frames > 0);
+        }
+    }
+
+    #[test]
+    fn fleet_runs_are_deterministic() {
+        let config = tiny_config(2, 42);
+        let a = run_fleet(&config).unwrap();
+        let b = run_fleet(&config).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_and_sequential_stepping_agree() {
+        let mut config = tiny_config(3, 17);
+        let sequential = run_fleet(&config).unwrap();
+        config.parallel = true;
+        let parallel = run_fleet(&config).unwrap();
+        // The configs differ only in the `parallel` flag; everything else
+        // must be identical.
+        assert_eq!(sequential.sessions, parallel.sessions);
+        assert_eq!(sequential.elapsed_modeled, parallel.elapsed_modeled);
+        assert_eq!(sequential.shard_stats, parallel.shard_stats);
+    }
+
+    #[test]
+    fn more_shards_raise_modeled_throughput() {
+        let one = run_fleet(&tiny_config(1, 9)).unwrap();
+        let four = run_fleet(&tiny_config(4, 9)).unwrap();
+        assert_eq!(one.completed, four.completed, "same workload must complete either way");
+        assert!(
+            four.sessions_per_sec() > one.sessions_per_sec() * 1.5,
+            "4 shards {:.2}/s vs 1 shard {:.2}/s",
+            four.sessions_per_sec(),
+            one.sessions_per_sec()
+        );
+    }
+
+    #[test]
+    fn saturated_fleet_rejects_by_backpressure() {
+        let mut config = tiny_config(1, 3);
+        config.shard.slots = 1;
+        config.max_pending = 1;
+        config.workload.sessions = 8;
+        config.workload.mean_interarrival_ticks = 0;
+        let outcome = run_fleet(&config).unwrap();
+        assert!(outcome.rejected > 0, "an overwhelmed fleet must shed load");
+        assert_eq!(outcome.rejected_with_free_slot, 0);
+        assert_eq!(outcome.offered, outcome.completed + outcome.rejected);
+    }
+}

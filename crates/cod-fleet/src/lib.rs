@@ -1,0 +1,51 @@
+//! `cod-fleet` — a sharded multi-session serving layer for the crane
+//! simulator.
+//!
+//! The paper builds *one* high-fidelity simulator on a cluster of desktop
+//! PCs; the ROADMAP's north star is a production system serving heavy traffic
+//! — which makes the *session*, not the frame, the unit of work. This crate
+//! turns the single-simulator runtime into a serving system:
+//!
+//! * [`workload`] — a seeded arrival process over the scenario mix of the
+//!   cod-testkit matrix (operator skill x GPU x display channels x LAN fault
+//!   plan); same seed, same workload.
+//! * [`admission`] — bounded-queue admission control and least-loaded
+//!   placement, kept pure so its safety properties (never exceed capacity,
+//!   never reject while a slot is free, session conservation) are
+//!   property-tested.
+//! * [`shard`] — a worker hosting several concurrent sessions, recycling
+//!   retired simulators through [`crane_sim::CraneSimulator::reset_for_session`]
+//!   so the expensive CB initialization runs once per session *shape*, not
+//!   once per session.
+//! * [`fleet`] — the tick-driven executive: offer, place, batch-step all
+//!   shards (optionally on OS threads), retire; deterministic by
+//!   construction, accounted in modeled time.
+//! * [`report`] — `FLEET_cod.json`, byte-identical across runs of the same
+//!   seed.
+//!
+//! ```
+//! use cod_fleet::{run_fleet, FleetConfig, ShardConfig, WorkloadConfig};
+//!
+//! let config = FleetConfig {
+//!     shards: 2,
+//!     shard: ShardConfig { slots: 2, batch_frames: 8, pool_per_shape: 1 },
+//!     max_pending: 4,
+//!     workload: WorkloadConfig { sessions: 3, seed: 7, base_frames: 10, mean_interarrival_ticks: 1 },
+//!     parallel: false,
+//! };
+//! let outcome = run_fleet(&config).expect("fleet drains");
+//! assert_eq!(outcome.offered, 3);
+//! assert_eq!(outcome.completed + outcome.rejected, 3);
+//! ```
+
+pub mod admission;
+pub mod fleet;
+pub mod report;
+pub mod shard;
+pub mod workload;
+
+pub use admission::{AdmissionConfig, AdmissionState};
+pub use fleet::{run_fleet, FleetConfig, FleetOutcome, SessionOutcome};
+pub use report::{document, FleetReport, SCHEMA};
+pub use shard::{Completed, SessionShape, Shard, ShardConfig, ShardStats};
+pub use workload::{generate, Arrival, SessionSpec, WorkloadConfig};

@@ -1,0 +1,266 @@
+//! The machine-readable fleet report (`FLEET_cod.json`).
+//!
+//! Same conventions as `BENCH_cod.json` and `SCENARIOS_cod.json` (see
+//! [`cod_json`]): ordered members, `u64` quantities that may exceed 2^53
+//! (seeds, fingerprints) as hex strings. Unlike the bench report the fleet
+//! report carries **no wall-clock stamp**: a fleet run is a pure function of
+//! its seed, and the acceptance gate diffs two runs byte for byte.
+
+use cod_json::Json;
+use sim_math::Fnv1a;
+
+use crate::fleet::FleetOutcome;
+
+/// Schema version of `FLEET_cod.json`; bump on breaking layout changes.
+pub const SCHEMA: &str = "cod-fleet-v1";
+
+/// Aggregated, serializable view of one fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Workload seed.
+    pub seed: u64,
+    /// Number of shards.
+    pub shards: usize,
+    /// Concurrent sessions per shard.
+    pub slots_per_shard: usize,
+    /// Frames per session per fleet tick.
+    pub batch_frames: usize,
+    /// Admission-queue bound.
+    pub max_pending: usize,
+    /// Arrivals offered / admitted / completed / rejected.
+    pub offered: u64,
+    /// Sessions placed onto a shard.
+    pub admitted: u64,
+    /// Sessions retired.
+    pub completed: u64,
+    /// Arrivals shed by backpressure.
+    pub rejected: u64,
+    /// Fleet ticks until drain.
+    pub ticks: u64,
+    /// Modeled serving time in milliseconds.
+    pub elapsed_modeled_ms: f64,
+    /// Completed sessions per modeled second.
+    pub sessions_per_sec: f64,
+    /// Latency percentiles in fleet ticks (p50, p95, p99).
+    pub latency_ticks: [u64; 3],
+    /// Mean final score of completed sessions.
+    pub mean_score: f64,
+    /// Fraction of completed sessions that passed.
+    pub pass_rate: f64,
+    /// Per-shard rows: `(utilization, completed, sims_built, sims_recycled,
+    /// peak_residents)`.
+    pub shard_rows: Vec<(f64, u64, u64, u64, usize)>,
+    /// FNV-1a fingerprint over every session outcome — two runs of the same
+    /// seed must agree bit for bit.
+    pub fingerprint: u64,
+}
+
+impl FleetReport {
+    /// Builds the report from a fleet outcome.
+    pub fn from_outcome(outcome: &FleetOutcome) -> FleetReport {
+        let mut h = Fnv1a::new();
+        h.write_u64(outcome.sessions.len() as u64);
+        for s in &outcome.sessions {
+            h.write_u64(s.id);
+            h.write_u64(s.name.len() as u64);
+            h.write_bytes(s.name.as_bytes());
+            h.write_u64(s.frames as u64);
+            h.write_u64(s.arrived_tick);
+            h.write_u64(s.admitted_tick);
+            h.write_u64(s.completed_tick);
+            h.write_u64(s.shard as u64);
+            h.write_u64(s.score.to_bits());
+            h.write_u64(s.passed as u64);
+            h.write_u64(s.cost.0);
+        }
+        h.write_u64(outcome.rejected);
+        h.write_u64(outcome.elapsed_modeled.0);
+
+        FleetReport {
+            seed: outcome.config.workload.seed,
+            shards: outcome.config.shards,
+            slots_per_shard: outcome.config.shard.slots,
+            batch_frames: outcome.config.shard.batch_frames,
+            max_pending: outcome.config.max_pending,
+            offered: outcome.offered,
+            admitted: outcome.admitted,
+            completed: outcome.completed,
+            rejected: outcome.rejected,
+            ticks: outcome.ticks_run,
+            elapsed_modeled_ms: outcome.elapsed_modeled.as_secs_f64() * 1e3,
+            sessions_per_sec: outcome.sessions_per_sec(),
+            latency_ticks: [
+                outcome.latency_percentile_ticks(50.0),
+                outcome.latency_percentile_ticks(95.0),
+                outcome.latency_percentile_ticks(99.0),
+            ],
+            mean_score: outcome.mean_score(),
+            pass_rate: outcome.pass_rate(),
+            shard_rows: (0..outcome.shard_stats.len())
+                .map(|i| {
+                    let s = &outcome.shard_stats[i];
+                    (
+                        outcome.shard_utilization(i),
+                        s.sessions_completed,
+                        s.sims_built,
+                        s.sims_recycled,
+                        s.peak_residents,
+                    )
+                })
+                .collect(),
+            fingerprint: h.finish(),
+        }
+    }
+
+    /// Serializes to the `FLEET_cod.json` schema (one run's worth).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("seed".into(), Json::Str(format!("{:#x}", self.seed))),
+            ("shards".into(), Json::Num(self.shards as f64)),
+            ("slots_per_shard".into(), Json::Num(self.slots_per_shard as f64)),
+            ("batch_frames".into(), Json::Num(self.batch_frames as f64)),
+            ("max_pending".into(), Json::Num(self.max_pending as f64)),
+            ("offered".into(), Json::Num(self.offered as f64)),
+            ("admitted".into(), Json::Num(self.admitted as f64)),
+            ("completed".into(), Json::Num(self.completed as f64)),
+            ("rejected".into(), Json::Num(self.rejected as f64)),
+            ("ticks".into(), Json::Num(self.ticks as f64)),
+            ("elapsed_modeled_ms".into(), Json::Num(self.elapsed_modeled_ms)),
+            ("sessions_per_sec".into(), Json::Num(self.sessions_per_sec)),
+            ("latency_p50_ticks".into(), Json::Num(self.latency_ticks[0] as f64)),
+            ("latency_p95_ticks".into(), Json::Num(self.latency_ticks[1] as f64)),
+            ("latency_p99_ticks".into(), Json::Num(self.latency_ticks[2] as f64)),
+            ("mean_score".into(), Json::Num(self.mean_score)),
+            ("pass_rate".into(), Json::Num(self.pass_rate)),
+            (
+                "shards_detail".into(),
+                Json::Arr(
+                    self.shard_rows
+                        .iter()
+                        .enumerate()
+                        .map(|(i, (util, completed, built, recycled, peak))| {
+                            Json::Obj(vec![
+                                ("shard".into(), Json::Num(i as f64)),
+                                ("utilization".into(), Json::Num(*util)),
+                                ("completed".into(), Json::Num(*completed as f64)),
+                                ("sims_built".into(), Json::Num(*built as f64)),
+                                ("sims_recycled".into(), Json::Num(*recycled as f64)),
+                                ("peak_residents".into(), Json::Num(*peak as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("fingerprint".into(), Json::Str(format!("{:016x}", self.fingerprint))),
+        ])
+    }
+
+    /// Renders the human-readable summary.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "  {} shards x {} slots | offered {} admitted {} completed {} rejected {}\n",
+            self.shards,
+            self.slots_per_shard,
+            self.offered,
+            self.admitted,
+            self.completed,
+            self.rejected,
+        ));
+        out.push_str(&format!(
+            "  modeled serving time {:.1} ms | {:.2} sessions/s | latency p50/p95/p99 = {}/{}/{} ticks\n",
+            self.elapsed_modeled_ms,
+            self.sessions_per_sec,
+            self.latency_ticks[0],
+            self.latency_ticks[1],
+            self.latency_ticks[2],
+        ));
+        out.push_str(&format!(
+            "  mean score {:.1} | pass rate {:.0}% | fingerprint {:016x}\n",
+            self.mean_score,
+            self.pass_rate * 100.0,
+            self.fingerprint
+        ));
+        out.push_str("  shard | util % | done | built | recycled | peak\n");
+        for (i, (util, completed, built, recycled, peak)) in self.shard_rows.iter().enumerate() {
+            out.push_str(&format!(
+                "  {i:>5} | {:>6.1} | {completed:>4} | {built:>5} | {recycled:>8} | {peak:>4}\n",
+                util * 100.0
+            ));
+        }
+        out
+    }
+}
+
+/// The whole `FLEET_cod.json` document: the headline run plus the one-shard
+/// baseline it is gated against.
+pub fn document(baseline: &FleetReport, fleet: &FleetReport, quick: bool) -> Json {
+    let scaling = if baseline.sessions_per_sec > 0.0 {
+        fleet.sessions_per_sec / baseline.sessions_per_sec
+    } else {
+        0.0
+    };
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(SCHEMA.into())),
+        ("quick".into(), Json::Bool(quick)),
+        ("scaling_sessions_per_sec".into(), Json::Num(scaling)),
+        ("baseline_1_shard".into(), baseline.to_json()),
+        ("fleet".into(), fleet.to_json()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::{run_fleet, FleetConfig};
+    use crate::shard::ShardConfig;
+    use crate::workload::WorkloadConfig;
+
+    fn outcome() -> FleetOutcome {
+        run_fleet(&FleetConfig {
+            shards: 2,
+            shard: ShardConfig { slots: 2, batch_frames: 8, pool_per_shape: 1 },
+            max_pending: 4,
+            workload: WorkloadConfig {
+                sessions: 4,
+                seed: 5,
+                base_frames: 12,
+                mean_interarrival_ticks: 1,
+            },
+            parallel: false,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn report_serializes_and_round_trips_through_the_shared_parser() {
+        let report = FleetReport::from_outcome(&outcome());
+        let doc = document(&report, &report, true);
+        let text = doc.to_pretty();
+        let parsed = Json::parse(&text).expect("valid JSON");
+        assert_eq!(parsed.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        assert_eq!(parsed.get("scaling_sessions_per_sec").and_then(Json::as_f64), Some(1.0));
+        let fleet = parsed.get("fleet").unwrap();
+        assert_eq!(fleet.get("offered").and_then(Json::as_f64), Some(4.0));
+        assert!(fleet.get("fingerprint").and_then(Json::as_str).is_some());
+        // Hex seed survives even above 2^53.
+        let seed = fleet.get("seed").and_then(Json::as_str).unwrap();
+        assert_eq!(u64::from_str_radix(seed.trim_start_matches("0x"), 16).unwrap(), 5);
+    }
+
+    #[test]
+    fn same_outcome_same_fingerprint_and_bytes() {
+        let a = FleetReport::from_outcome(&outcome());
+        let b = FleetReport::from_outcome(&outcome());
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.to_json().to_pretty(), b.to_json().to_pretty());
+    }
+
+    #[test]
+    fn table_mentions_the_headline_numbers() {
+        let report = FleetReport::from_outcome(&outcome());
+        let table = report.render_table();
+        assert!(table.contains("sessions/s"));
+        assert!(table.contains("pass rate"));
+    }
+}

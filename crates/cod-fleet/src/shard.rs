@@ -1,0 +1,349 @@
+//! A shard: one worker slot-pool hosting several concurrent simulator
+//! sessions, with a recycling pool of retired simulators.
+//!
+//! Building a [`CraneSimulator`] is dominated by the Communication Backbone
+//! initialization protocol (a hundred-plus broadcast rounds across eight
+//! kernels). A shard therefore never throws a finished session's simulator
+//! away: it files the rack under its [`SessionShape`] and the next session of
+//! the same shape gets it back through
+//! [`CraneSimulator::reset_for_session`], skipping initialization entirely.
+
+use std::collections::BTreeMap;
+
+use cod_cb::CbError;
+use cod_net::Micros;
+use crane_sim::{CraneSimulator, SessionReport, SimulatorConfig};
+
+use crate::workload::SessionSpec;
+
+/// Sizing and pacing of one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Concurrent sessions the shard may host.
+    pub slots: usize,
+    /// Executive frames each resident session advances per fleet tick.
+    pub batch_frames: usize,
+    /// Retired simulators kept per session shape for recycling.
+    pub pool_per_shape: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig { slots: 4, batch_frames: 8, pool_per_shape: 2 }
+    }
+}
+
+/// The structural part of a [`SimulatorConfig`] — everything that decides
+/// whether a built rack can be recycled for another session. The session seed
+/// and frame budget are per-session and excluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SessionShape {
+    operator: u8,
+    gpu: u8,
+    channels: usize,
+    width: usize,
+    height: usize,
+    render_pixels: bool,
+    cargo_mass_millig: u64,
+    frame_period_us: u64,
+}
+
+impl SessionShape {
+    /// The shape of a configuration.
+    pub fn of(config: &SimulatorConfig) -> SessionShape {
+        SessionShape {
+            operator: config.operator as u8,
+            gpu: config.gpu as u8,
+            channels: config.display_channels,
+            width: config.display_width,
+            height: config.display_height,
+            render_pixels: config.render_pixels,
+            cargo_mass_millig: (config.cargo_mass_kg * 1_000.0).round() as u64,
+            frame_period_us: (1_000_000.0 / config.target_fps).round() as u64,
+        }
+    }
+}
+
+/// A session resident on a shard.
+struct Resident {
+    spec: SessionSpec,
+    sim: CraneSimulator,
+    frames_done: usize,
+    arrived_tick: u64,
+    admitted_tick: u64,
+}
+
+/// A session the shard has just retired.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completed {
+    /// The retired session's spec id.
+    pub id: u64,
+    /// The spec's descriptive name.
+    pub name: String,
+    /// Frames the session ran.
+    pub frames: usize,
+    /// Fleet tick the session arrived at.
+    pub arrived_tick: u64,
+    /// Fleet tick the session was placed at.
+    pub admitted_tick: u64,
+    /// The session's final report.
+    pub report: SessionReport,
+    /// Total modeled cost the session charged this shard.
+    pub cost: Micros,
+}
+
+/// Counters one shard accumulates over a fleet run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Total modeled busy time (the shard hosts its virtual clusters
+    /// in-process, so a session frame costs its whole-cluster sequential
+    /// cost).
+    pub busy: Micros,
+    /// Sessions retired.
+    pub sessions_completed: u64,
+    /// Simulators built from scratch.
+    pub sims_built: u64,
+    /// Sessions served by a recycled simulator.
+    pub sims_recycled: u64,
+    /// Largest residency observed.
+    pub peak_residents: usize,
+}
+
+/// One worker of the fleet.
+pub struct Shard {
+    /// Shard index within the fleet.
+    pub id: usize,
+    config: ShardConfig,
+    residents: Vec<Resident>,
+    pool: BTreeMap<SessionShape, Vec<CraneSimulator>>,
+    /// Accumulated counters.
+    pub stats: ShardStats,
+}
+
+impl Shard {
+    /// Creates an empty shard.
+    pub fn new(id: usize, config: ShardConfig) -> Shard {
+        Shard {
+            id,
+            config,
+            residents: Vec::new(),
+            pool: BTreeMap::new(),
+            stats: ShardStats::default(),
+        }
+    }
+
+    /// Number of resident sessions.
+    pub fn resident_count(&self) -> usize {
+        self.residents.len()
+    }
+
+    /// Free session slots.
+    pub fn free_slots(&self) -> usize {
+        self.config.slots - self.residents.len()
+    }
+
+    /// Modeled cost of finishing every resident session — the placement hint
+    /// the fleet weighs shards by. Sessions that have not yet run a frame are
+    /// estimated at the nominal whole-rack frame cost.
+    pub fn backlog_cost(&self) -> Micros {
+        /// Whole-cluster sequential frame cost of the standard rack before a
+        /// measurement exists (three 60 ms displays plus the other modules).
+        const NOMINAL_FRAME_COST: Micros = Micros(204_000);
+        let mut total = Micros::ZERO;
+        for r in &self.residents {
+            let hint = r.sim.session_cost_hint();
+            let per_frame = if hint == Micros::ZERO { NOMINAL_FRAME_COST } else { hint };
+            let remaining = r.spec.frames.saturating_sub(r.frames_done) as u64;
+            total += Micros(per_frame.0 * remaining);
+        }
+        total
+    }
+
+    /// Admits a session: recycles a pooled simulator of the same shape when
+    /// one exists, otherwise builds the rack from scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the simulator fails to build or reset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard has no free slot (the admission controller must
+    /// not place onto a full shard).
+    pub fn admit(
+        &mut self,
+        spec: SessionSpec,
+        arrived_tick: u64,
+        admitted_tick: u64,
+    ) -> Result<(), CbError> {
+        assert!(self.free_slots() > 0, "shard {} is full", self.id);
+        let shape = SessionShape::of(&spec.config);
+        let mut sim = match self.pool.get_mut(&shape).and_then(Vec::pop) {
+            Some(mut sim) => {
+                sim.reset_for_session(spec.config.seed)?;
+                self.stats.sims_recycled += 1;
+                sim
+            }
+            None => {
+                self.stats.sims_built += 1;
+                CraneSimulator::new(spec.config)?
+            }
+        };
+        sim.set_fault_plan(spec.fault_plan.clone());
+        self.residents.push(Resident { spec, sim, frames_done: 0, arrived_tick, admitted_tick });
+        self.stats.peak_residents = self.stats.peak_residents.max(self.residents.len());
+        Ok(())
+    }
+
+    /// Advances every resident session by up to one batch of frames, retiring
+    /// the ones that finish. Returns the retirements plus the modeled busy
+    /// time of this tick.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error raised by any session's executive.
+    pub fn step_batch(&mut self) -> Result<(Vec<Completed>, Micros), CbError> {
+        let mut tick_busy = Micros::ZERO;
+        for r in self.residents.iter_mut() {
+            let frames = self.config.batch_frames.min(r.spec.frames - r.frames_done);
+            for _ in 0..frames {
+                let record = r.sim.step_frame()?;
+                for (_, cost) in &record.costs {
+                    tick_busy += *cost;
+                }
+            }
+            r.frames_done += frames;
+        }
+        self.stats.busy += tick_busy;
+
+        let mut completed = Vec::new();
+        let mut i = 0;
+        while i < self.residents.len() {
+            if self.residents[i].frames_done >= self.residents[i].spec.frames {
+                let r = self.residents.remove(i);
+                completed.push(self.retire(r));
+            } else {
+                i += 1;
+            }
+        }
+        Ok((completed, tick_busy))
+    }
+
+    fn retire(&mut self, r: Resident) -> Completed {
+        let report = r.sim.report();
+        let cost = r.sim.cluster().metrics().total_sequential_cost;
+        self.stats.sessions_completed += 1;
+        let shape = SessionShape::of(&r.spec.config);
+        let pool = self.pool.entry(shape).or_default();
+        if pool.len() < self.config.pool_per_shape {
+            pool.push(r.sim);
+        }
+        Completed {
+            id: r.spec.id,
+            name: r.spec.name,
+            frames: r.spec.frames,
+            arrived_tick: r.arrived_tick,
+            admitted_tick: r.admitted_tick,
+            report,
+            cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{generate, WorkloadConfig};
+
+    fn tiny_spec(id: u64, seed: u64, frames: usize) -> SessionSpec {
+        let mut arrivals = generate(&WorkloadConfig {
+            sessions: 1,
+            seed,
+            base_frames: frames,
+            mean_interarrival_ticks: 0,
+        });
+        let mut spec = arrivals.remove(0).spec;
+        spec.id = id;
+        spec.frames = frames;
+        spec.config.exam_frames = frames;
+        spec
+    }
+
+    #[test]
+    fn shard_runs_a_session_to_completion() {
+        let mut shard = Shard::new(0, ShardConfig { slots: 2, batch_frames: 4, pool_per_shape: 1 });
+        shard.admit(tiny_spec(0, 5, 10), 0, 0).unwrap();
+        assert_eq!(shard.resident_count(), 1);
+        assert!(shard.backlog_cost() > Micros::ZERO);
+        let mut done = Vec::new();
+        for _ in 0..3 {
+            let (completed, busy) = shard.step_batch().unwrap();
+            assert!(busy > Micros::ZERO || !done.is_empty());
+            done.extend(completed);
+        }
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].report.frames_run, 10);
+        assert_eq!(shard.resident_count(), 0);
+        assert_eq!(shard.stats.sessions_completed, 1);
+        assert_eq!(shard.stats.sims_built, 1);
+    }
+
+    #[test]
+    fn same_shape_sessions_recycle_the_simulator() {
+        let mut shard = Shard::new(0, ShardConfig { slots: 1, batch_frames: 8, pool_per_shape: 1 });
+        let first = tiny_spec(0, 5, 8);
+        let mut second = tiny_spec(1, 5, 8);
+        // Same shape (same generated mix from the same seed), fresh seed.
+        second.config.seed ^= 0xABCD;
+        shard.admit(first, 0, 0).unwrap();
+        shard.step_batch().unwrap();
+        shard.admit(second, 1, 1).unwrap();
+        shard.step_batch().unwrap();
+        assert_eq!(shard.stats.sims_built, 1, "second session must reuse the pooled rack");
+        assert_eq!(shard.stats.sims_recycled, 1);
+        assert_eq!(shard.stats.sessions_completed, 2);
+    }
+
+    #[test]
+    fn recycled_session_reports_match_fresh_ones() {
+        let spec = tiny_spec(0, 11, 12);
+        // Fresh run.
+        let mut fresh = Shard::new(0, ShardConfig::default());
+        fresh.admit(spec.clone(), 0, 0).unwrap();
+        let mut fresh_done = Vec::new();
+        while fresh.resident_count() > 0 {
+            fresh_done.extend(fresh.step_batch().unwrap().0);
+        }
+        // A different session first, then the same spec on the recycled rack.
+        let mut warm = Shard::new(0, ShardConfig::default());
+        let mut warmup = spec.clone();
+        warmup.id = 99;
+        warmup.config.seed ^= 0x77;
+        warm.admit(warmup, 0, 0).unwrap();
+        while warm.resident_count() > 0 {
+            warm.step_batch().unwrap();
+        }
+        warm.admit(spec, 1, 1).unwrap();
+        let mut warm_done = Vec::new();
+        while warm.resident_count() > 0 {
+            warm_done.extend(warm.step_batch().unwrap().0);
+        }
+        assert_eq!(warm.stats.sims_recycled, 1);
+        assert_eq!(
+            fresh_done[0].report, warm_done[0].report,
+            "a recycled rack must replay the session bit for bit"
+        );
+    }
+
+    #[test]
+    fn shapes_distinguish_structural_fields_only() {
+        let a = tiny_spec(0, 5, 10);
+        let mut b = a.clone();
+        b.config.seed ^= 1;
+        b.config.exam_frames = 99;
+        assert_eq!(SessionShape::of(&a.config), SessionShape::of(&b.config));
+        let mut c = a.clone();
+        c.config.display_channels += 1;
+        assert_ne!(SessionShape::of(&a.config), SessionShape::of(&c.config));
+    }
+}

@@ -1,0 +1,182 @@
+//! The seeded workload generator: an arrival process over a scenario mix.
+//!
+//! A fleet run is driven by a list of [`Arrival`]s — (tick, session spec)
+//! pairs — fully determined by a [`WorkloadConfig`] and its seed. The
+//! scenario mix is drawn from the same dimensions the cod-testkit matrix
+//! sweeps: operator skill x GPU generation x display-channel count x LAN
+//! fault plan, so the serving layer is exercised with exactly the session
+//! population the regression net already understands.
+
+use cod_net::plans;
+use cod_net::FaultPlan;
+use crane_sim::{GpuGeneration, OperatorKind, SimulatorConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A complete description of one session offered to the fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSpec {
+    /// Fleet-wide session id (arrival order).
+    pub id: u64,
+    /// Descriptive name, `s<id>-<operator>-<gpu>-c<channels>-<plan>`.
+    pub name: String,
+    /// Simulator configuration (carries the session seed).
+    pub config: SimulatorConfig,
+    /// Fault plan installed for the session (carries the fault seed).
+    pub fault_plan: FaultPlan,
+    /// Number of executive frames the session runs.
+    pub frames: usize,
+}
+
+/// Configuration of the workload generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadConfig {
+    /// Number of sessions offered over the run.
+    pub sessions: usize,
+    /// Base seed of the arrival process and scenario mix.
+    pub seed: u64,
+    /// Nominal frames per session; actual lengths vary in `[base/2, 3*base/2]`.
+    pub base_frames: usize,
+    /// Mean gap between consecutive arrivals, in fleet ticks; actual gaps are
+    /// uniform in `[0, 2*mean]`.
+    pub mean_interarrival_ticks: u64,
+}
+
+impl WorkloadConfig {
+    /// The reduced workload used by CI smoke runs (64 sessions).
+    pub fn quick(seed: u64) -> WorkloadConfig {
+        WorkloadConfig { sessions: 64, seed, base_frames: 48, mean_interarrival_ticks: 1 }
+    }
+
+    /// The full workload (256 sessions).
+    pub fn full(seed: u64) -> WorkloadConfig {
+        WorkloadConfig { sessions: 256, seed, base_frames: 96, mean_interarrival_ticks: 1 }
+    }
+}
+
+/// One session arriving at the fleet's front door.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arrival {
+    /// Fleet tick at which the session arrives.
+    pub tick: u64,
+    /// The session itself.
+    pub spec: SessionSpec,
+}
+
+/// SplitMix64-style mixing of the base seed with a per-session counter, so
+/// every session gets a decorrelated seed stream of its own.
+fn mix_seed(seed: u64, id: u64) -> u64 {
+    let mut z = seed ^ (id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn operator_name(kind: OperatorKind) -> &'static str {
+    match kind {
+        OperatorKind::Exam => "exam",
+        OperatorKind::Idle => "idle",
+        OperatorKind::Reckless => "reckless",
+    }
+}
+
+fn gpu_name(gpu: GpuGeneration) -> &'static str {
+    match gpu {
+        GpuGeneration::Tnt2 => "tnt2",
+        GpuGeneration::NextGeneration => "nextgen",
+    }
+}
+
+/// Generates the arrival list: ascending ticks, one spec per session, fully
+/// determined by the configuration (same config ⇒ identical list).
+pub fn generate(config: &WorkloadConfig) -> Vec<Arrival> {
+    const OPERATORS: [OperatorKind; 3] =
+        [OperatorKind::Exam, OperatorKind::Idle, OperatorKind::Reckless];
+    const GPUS: [GpuGeneration; 2] = [GpuGeneration::Tnt2, GpuGeneration::NextGeneration];
+    const CHANNELS: [usize; 2] = [2, 3];
+
+    let mut rng = StdRng::seed_from_u64(mix_seed(config.seed, 0xF1EE7));
+    let mut arrivals = Vec::with_capacity(config.sessions);
+    let mut tick = 0u64;
+    for id in 0..config.sessions as u64 {
+        let operator = OPERATORS[rng.gen_range(0..OPERATORS.len())];
+        let gpu = GPUS[rng.gen_range(0..GPUS.len())];
+        let channels = CHANNELS[rng.gen_range(0..CHANNELS.len())];
+        let session_seed = mix_seed(config.seed, id * 2 + 1);
+        let fault_seed = mix_seed(config.seed, id * 2 + 2);
+        let named_plans = plans::all(fault_seed);
+        let plan = named_plans[rng.gen_range(0..named_plans.len())].clone();
+        let frames = config.base_frames / 2 + rng.gen_range(0..=config.base_frames);
+
+        let sim_config = SimulatorConfig {
+            operator,
+            gpu,
+            display_channels: channels,
+            display_width: 64,
+            display_height: 48,
+            exam_frames: frames,
+            seed: session_seed,
+            ..SimulatorConfig::default()
+        };
+        let name = format!(
+            "s{id:03}-{}-{}-c{channels}-{}",
+            operator_name(operator),
+            gpu_name(gpu),
+            plan.name
+        );
+        arrivals.push(Arrival {
+            tick,
+            spec: SessionSpec { id, name, config: sim_config, fault_plan: plan.plan, frames },
+        });
+        tick += rng.gen_range(0..=config.mean_interarrival_ticks * 2);
+    }
+    arrivals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_and_ascending() {
+        let config = WorkloadConfig { sessions: 20, seed: 7, ..WorkloadConfig::quick(7) };
+        let a = generate(&config);
+        let b = generate(&config);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 20);
+        for pair in a.windows(2) {
+            assert!(pair[0].tick <= pair[1].tick, "arrival ticks must ascend");
+        }
+    }
+
+    #[test]
+    fn different_seeds_draw_different_mixes() {
+        let a = generate(&WorkloadConfig { sessions: 16, ..WorkloadConfig::quick(1) });
+        let b = generate(&WorkloadConfig { sessions: 16, ..WorkloadConfig::quick(2) });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn specs_cover_the_matrix_dimensions_and_stay_valid() {
+        let arrivals = generate(&WorkloadConfig::quick(3));
+        let mut operators = std::collections::BTreeSet::new();
+        let mut plans_seen = std::collections::BTreeSet::new();
+        for a in &arrivals {
+            a.spec.config.validate().expect("generated config must be valid");
+            assert!(a.spec.frames >= 24, "session too short: {}", a.spec.frames);
+            operators.insert(format!("{:?}", a.spec.config.operator));
+            plans_seen.insert(a.spec.name.rsplit('-').next().unwrap().to_owned());
+        }
+        assert_eq!(operators.len(), 3, "all operator kinds should appear in 64 draws");
+        assert!(plans_seen.len() >= 4, "fault-plan variety missing: {plans_seen:?}");
+    }
+
+    #[test]
+    fn session_seeds_are_unique() {
+        let arrivals = generate(&WorkloadConfig::quick(9));
+        let mut seeds: Vec<u64> = arrivals.iter().map(|a| a.spec.config.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), arrivals.len());
+    }
+}

@@ -36,6 +36,7 @@ pub mod error;
 pub mod fault;
 pub mod link;
 pub mod loopback;
+pub mod plans;
 pub mod simnet;
 pub mod stats;
 pub mod time;
@@ -48,6 +49,7 @@ pub use error::NetError;
 pub use fault::{FaultPlan, LatencySpike, LinkFaultRule, PartitionWindow};
 pub use link::{LanConfig, LinkModel};
 pub use loopback::{LoopbackHub, LoopbackTransport};
+pub use plans::NamedPlan;
 pub use simnet::{SharedLan, SimLan, SimTransport};
 pub use stats::{LanStats, NodeStats};
 pub use time::{Micros, SimClock};

@@ -149,6 +149,29 @@ impl SimLan {
         lan.lock().stats.clone()
     }
 
+    /// Rewinds the LAN to a canonical session start: the clock is reset to
+    /// `epoch`, in-flight and undelivered datagrams are discarded, the jitter
+    /// RNG is reseeded from `seed`, any fault plan is removed and the traffic
+    /// counters are zeroed. The attached endpoints (nodes, ports, names) are
+    /// kept.
+    ///
+    /// Called once at the end of cluster initialization *and* on every session
+    /// reset, so a recycled cluster and a freshly built one start each session
+    /// from bit-identical LAN state.
+    pub fn begin_session(lan: &SharedLan, epoch: Micros, seed: u64) {
+        let mut l = lan.lock();
+        l.clock.reset_to(epoch);
+        l.rng = StdRng::seed_from_u64(seed);
+        l.faults = FaultPlan::none();
+        l.fault_rng = StdRng::seed_from_u64(0);
+        l.next_seq = 0;
+        l.queue.clear();
+        for inbox in l.inboxes.values_mut() {
+            inbox.clear();
+        }
+        l.stats = LanStats::default();
+    }
+
     /// Installs a fault-injection plan; faults are drawn from a dedicated RNG
     /// stream seeded from [`FaultPlan::seed`], so the same plan and seed
     /// reproduce the same fault schedule bit for bit.

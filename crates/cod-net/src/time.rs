@@ -111,6 +111,16 @@ impl SimClock {
         assert!(t >= self.now, "clock cannot run backwards: {:?} -> {:?}", self.now, t);
         self.now = t;
     }
+
+    /// Rewinds the clock to `t`, bypassing the monotonicity guarantee.
+    ///
+    /// This exists for session recycling only: when a simulator is reset for a
+    /// new session the whole cluster (LAN included) is rewound to the canonical
+    /// session epoch so a recycled run is bit-identical to a fresh one. Normal
+    /// simulation code must use [`SimClock::advance_to`].
+    pub fn reset_to(&mut self, t: Micros) {
+        self.now = t;
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,186 @@
+//! Fleet-level invariant checkers, mirroring the per-frame battery of
+//! [`crate::invariants`] one level up: whatever the workload does, the
+//! serving layer must conserve sessions, respect shard capacity, starve
+//! nobody, and replay bit-exactly from its seed.
+
+use cod_cb::CbError;
+use cod_fleet::{run_fleet, FleetConfig, FleetOutcome, FleetReport};
+
+/// Checks every fleet-level safety property on a drained outcome; returns a
+/// description of each violated property (empty ⇒ all held).
+pub fn check_fleet_outcome(outcome: &FleetOutcome) -> Vec<String> {
+    let mut violations = Vec::new();
+
+    // Conservation: after drain no session may be pending or resident, so
+    // every offered arrival is either completed or rejected, and the
+    // completion list matches the ledger.
+    if outcome.offered != outcome.completed + outcome.rejected {
+        violations.push(format!(
+            "conservation: offered {} != completed {} + rejected {}",
+            outcome.offered, outcome.completed, outcome.rejected
+        ));
+    }
+    if outcome.sessions.len() as u64 != outcome.completed {
+        violations.push(format!(
+            "conservation: {} session outcomes vs {} completions",
+            outcome.sessions.len(),
+            outcome.completed
+        ));
+    }
+    if outcome.admitted != outcome.completed {
+        violations.push(format!(
+            "drain: admitted {} != completed {} (a session is still resident)",
+            outcome.admitted, outcome.completed
+        ));
+    }
+
+    // Capacity: no shard may ever have hosted more sessions than it has
+    // slots, and nothing may have been rejected while a slot was free.
+    for (i, stats) in outcome.shard_stats.iter().enumerate() {
+        if stats.peak_residents > outcome.config.shard.slots {
+            violations.push(format!(
+                "capacity: shard {i} peaked at {} residents, capacity {}",
+                stats.peak_residents, outcome.config.shard.slots
+            ));
+        }
+    }
+    if outcome.rejected_with_free_slot > 0 {
+        violations.push(format!(
+            "backpressure: {} arrivals rejected while a slot was free",
+            outcome.rejected_with_free_slot
+        ));
+    }
+    if outcome.peak_pending > outcome.config.max_pending {
+        violations.push(format!(
+            "backpressure: queue peaked at {} over the bound {}",
+            outcome.peak_pending, outcome.config.max_pending
+        ));
+    }
+
+    // No starvation: a session can wait in the queue at most as long as the
+    // whole population ahead of it takes to drain through the fleet —
+    // bounded by the queue depth plus total slots, times the longest
+    // session's tick count.
+    let ticks_per_session = outcome
+        .sessions
+        .iter()
+        .map(|s| (s.frames as u64).div_ceil(outcome.config.shard.batch_frames as u64) + 1)
+        .max()
+        .unwrap_or(1);
+    let ahead =
+        (outcome.config.max_pending + outcome.config.shards * outcome.config.shard.slots) as u64;
+    let wait_bound = ahead * ticks_per_session;
+    for s in &outcome.sessions {
+        let waited = s.admitted_tick - s.arrived_tick;
+        if waited > wait_bound {
+            violations.push(format!(
+                "starvation: session {} ({}) queued for {waited} ticks (bound {wait_bound})",
+                s.id, s.name
+            ));
+        }
+        let running = s.completed_tick - s.admitted_tick;
+        if running > ticks_per_session {
+            violations.push(format!(
+                "starvation: session {} ({}) resident for {running} ticks (bound {ticks_per_session})",
+                s.id, s.name
+            ));
+        }
+    }
+
+    violations
+}
+
+/// Runs the fleet twice from the same configuration and returns both reports
+/// plus the first difference between their serialized forms (`None` proves
+/// the run replays byte for byte).
+///
+/// # Errors
+///
+/// Returns the first hard error raised by either run.
+pub fn fleet_replay_check(
+    config: &FleetConfig,
+) -> Result<(FleetReport, FleetReport, Option<usize>), CbError> {
+    let first = FleetReport::from_outcome(&run_fleet(config)?);
+    let second = FleetReport::from_outcome(&run_fleet(config)?);
+    let a = first.to_json().to_pretty();
+    let b = second.to_json().to_pretty();
+    let divergence = if a == b {
+        None
+    } else {
+        Some(a.bytes().zip(b.bytes()).position(|(x, y)| x != y).unwrap_or(a.len().min(b.len())))
+    };
+    Ok((first, second, divergence))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cod_fleet::{ShardConfig, WorkloadConfig};
+
+    fn small_config(shards: usize, seed: u64) -> FleetConfig {
+        FleetConfig {
+            shards,
+            shard: ShardConfig { slots: 2, batch_frames: 8, pool_per_shape: 1 },
+            max_pending: 4,
+            workload: WorkloadConfig {
+                sessions: 8,
+                seed,
+                base_frames: 16,
+                mean_interarrival_ticks: 1,
+            },
+            parallel: false,
+        }
+    }
+
+    #[test]
+    fn a_healthy_fleet_passes_every_invariant() {
+        let outcome = run_fleet(&small_config(2, 0xF1EE7)).unwrap();
+        let violations = check_fleet_outcome(&outcome);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn a_saturated_fleet_still_passes_every_invariant() {
+        let mut config = small_config(1, 0xBEEF);
+        config.shard.slots = 1;
+        config.max_pending = 1;
+        config.workload.mean_interarrival_ticks = 0;
+        let outcome = run_fleet(&config).unwrap();
+        assert!(outcome.rejected > 0, "saturation must shed load");
+        let violations = check_fleet_outcome(&outcome);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn replay_check_proves_bit_exact_reports() {
+        let (first, second, divergence) = fleet_replay_check(&small_config(2, 0xC0D)).unwrap();
+        assert_eq!(divergence, None, "fleet replay diverged");
+        assert_eq!(first.fingerprint, second.fingerprint);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn different_seeds_produce_different_fingerprints() {
+        let (a, _, _) = fleet_replay_check(&small_config(2, 1)).unwrap();
+        let (b, _, _) = fleet_replay_check(&small_config(2, 2)).unwrap();
+        assert_ne!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn doctored_outcomes_are_caught() {
+        let mut outcome = run_fleet(&small_config(2, 3)).unwrap();
+        outcome.rejected += 1;
+        assert!(!check_fleet_outcome(&outcome).is_empty(), "broken ledger must be flagged");
+
+        let mut outcome = run_fleet(&small_config(2, 3)).unwrap();
+        outcome.rejected_with_free_slot = 1;
+        assert!(!check_fleet_outcome(&outcome).is_empty(), "free-slot rejection must be flagged");
+
+        let mut outcome = run_fleet(&small_config(2, 3)).unwrap();
+        if let Some(s) = outcome.sessions.first_mut() {
+            s.admitted_tick = s.arrived_tick + 10_000;
+            s.completed_tick = s.admitted_tick + 1;
+        }
+        assert!(!check_fleet_outcome(&outcome).is_empty(), "starvation must be flagged");
+    }
+}

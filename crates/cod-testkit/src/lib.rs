@@ -18,7 +18,10 @@
 //!   first differing frame when not;
 //! * [`matrix`] — the operator x GPU x fault-plan x cluster-size sweep and its
 //!   machine-readable `SCENARIOS_cod.json` summary (run by the
-//!   `scenario_matrix` binary; `--quick` in CI).
+//!   `scenario_matrix` binary; `--quick` in CI);
+//! * [`fleet_invariants`] — the same idea one level up, for the `cod-fleet`
+//!   serving layer: session conservation, shard capacity, no starvation, and
+//!   bit-exact `FLEET_cod.json` replay from a fixed seed.
 //!
 //! Reproducing a failure is always the same recipe: take the `(sim_seed,
 //! fault_seed)` pair printed with the scenario, rebuild the spec, re-run.
@@ -41,11 +44,13 @@
 //! assert_eq!(outcome.trace.len(), 20);
 //! ```
 
+pub mod fleet_invariants;
 pub mod harness;
 pub mod invariants;
 pub mod matrix;
 pub mod plans;
 
+pub use fleet_invariants::{check_fleet_outcome, fleet_replay_check};
 pub use harness::{replay_check, run_scenario, run_scenario_with, ScenarioOutcome, ScenarioSpec};
 pub use invariants::{standard_invariants, FrameContext, Invariant, InvariantViolation};
 pub use matrix::{run_matrix, scenario_specs, MatrixConfig, MatrixSummary, ScenarioResult};

@@ -7,8 +7,8 @@
 //! Results are written as machine-readable JSON (`SCENARIOS_cod.json`) in the
 //! same spirit as the benchmark layer's `BENCH_cod.json`.
 
-use cod_bench::json::Json;
 use cod_cb::CbError;
+use cod_json::Json;
 use crane_sim::{GpuGeneration, OperatorKind, SimulatorConfig};
 
 use crate::harness::{run_scenario, ScenarioOutcome, ScenarioSpec};
@@ -282,7 +282,7 @@ mod tests {
             }],
         };
         let text = summary.to_json().to_pretty();
-        let parsed = cod_bench::json::Json::parse(&text).expect("summary is valid JSON");
+        let parsed = Json::parse(&text).expect("summary is valid JSON");
         assert_eq!(parsed.get("schema").and_then(Json::as_str), Some("cod-scenarios-v1"));
         assert_eq!(parsed.get("all_passed").and_then(Json::as_bool), Some(true));
         let rows = parsed.get("scenarios").and_then(Json::as_arr).unwrap();
@@ -304,7 +304,7 @@ mod tests {
             results: vec![],
         };
         let text = summary.to_json().to_pretty();
-        let parsed = cod_bench::json::Json::parse(&text).unwrap();
+        let parsed = Json::parse(&text).unwrap();
         let roundtrip = parsed.get("seed").and_then(Json::as_str).unwrap();
         let value = u64::from_str_radix(roundtrip.trim_start_matches("0x"), 16).unwrap();
         assert_eq!(value, big);

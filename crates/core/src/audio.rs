@@ -102,6 +102,16 @@ impl LogicalProcess for AudioLp {
     fn last_step_cost(&self) -> Micros {
         Micros::from_millis(3)
     }
+
+    fn begin_session(&mut self, _cb: &mut dyn CbApi, _seed: u64) -> Result<(), CbError> {
+        let mut mixer = Mixer::new(11_025);
+        mixer.add_background_noise();
+        self.mixer = mixer;
+        self.crane = CraneStateMsg::default();
+        self.input = OperatorInputMsg::default();
+        self.collisions_heard = 0;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

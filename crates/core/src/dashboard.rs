@@ -185,6 +185,14 @@ impl LogicalProcess for DashboardLp {
     fn last_step_cost(&self) -> Micros {
         Micros::from_millis(2)
     }
+
+    fn begin_session(&mut self, _cb: &mut dyn CbApi, _seed: u64) -> Result<(), CbError> {
+        self.operator.reset();
+        self.observation = Observation::default();
+        self.panel = InstrumentPanel::default();
+        self.last_input = OperatorInputMsg::default();
+        Ok(())
+    }
 }
 
 #[cfg(test)]

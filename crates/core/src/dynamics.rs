@@ -42,6 +42,8 @@ pub struct DynamicsLp {
     terrain: FnTerrain<fn(f64, f64) -> f64>,
     stability: StabilityModel,
 
+    start_position: Vec3,
+    start_heading: f64,
     cargo_rest_position: Vec3,
     cargo_mass: f64,
     cargo_attached: bool,
@@ -83,6 +85,8 @@ impl DynamicsLp {
             collision,
             terrain: FnTerrain::new(training_ground_height),
             stability: StabilityModel::default(),
+            start_position: start,
+            start_heading: course.start_heading,
             cargo_rest_position,
             cargo_mass,
             cargo_attached: false,
@@ -247,6 +251,23 @@ impl LogicalProcess for DynamicsLp {
 
     fn last_step_cost(&self) -> Micros {
         self.step_cost
+    }
+
+    fn begin_session(&mut self, _cb: &mut dyn CbApi, _seed: u64) -> Result<(), CbError> {
+        // Rebuild the moving bodies exactly as the constructor does; the
+        // static assets (collision world, terrain, registered objects) are the
+        // reusable part and stay untouched.
+        self.vehicle =
+            CraneVehicle::new(VehicleParams::default(), self.start_position, self.start_heading);
+        self.rig = CraneRig::default();
+        let boom_tip = self.rig.boom_tip_world(&self.vehicle.chassis_transform());
+        self.pendulum = CablePendulum::new(boom_tip, self.rig.state.cable_length, 120.0);
+        self.cargo_attached = false;
+        self.input = OperatorInputMsg::default();
+        self.collision_cooldowns.clear();
+        self.elapsed = 0.0;
+        self.previous_speed = 0.0;
+        Ok(())
     }
 }
 

@@ -192,6 +192,17 @@ impl LogicalProcess for InstructorLp {
     fn last_step_cost(&self) -> Micros {
         Micros::from_millis(2)
     }
+
+    fn begin_session(&mut self, _cb: &mut dyn CbApi, _seed: u64) -> Result<(), CbError> {
+        self.crane = CraneStateMsg::default();
+        self.hook = HookStateMsg::default();
+        self.scenario = ScenarioStateMsg::default();
+        self.alarms.clear();
+        self.collision_alarm_timer = 0.0;
+        // Faults queued by the previous session's instructor die with it.
+        let _ = self.injector.drain();
+        Ok(())
+    }
 }
 
 #[cfg(test)]

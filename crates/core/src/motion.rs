@@ -17,11 +17,16 @@ use crate::telemetry::SharedTelemetry;
 /// Servo updates performed per visual frame.
 const SERVO_SUBSTEPS: usize = 12;
 
+/// Decorrelates the platform's vibration stream from the other consumers of
+/// the session seed (the LAN jitter model draws from the raw seed).
+const MOTION_SEED_SALT: u64 = 0x5eed;
+
 /// The motion-platform controller Logical Process.
 pub struct MotionPlatformLp {
     registry: ClassRegistry,
     fom: CraneFom,
     telemetry: SharedTelemetry,
+    visual_fps: f64,
     controller: MotionController,
     crane: CraneStateMsg,
     previous_speed: f64,
@@ -31,6 +36,8 @@ pub struct MotionPlatformLp {
 
 impl MotionPlatformLp {
     /// Creates the module, synchronized to `visual_fps` frames per second.
+    /// `seed` is the session seed; the module salts it before seeding its
+    /// vibration model.
     pub fn new(
         registry: ClassRegistry,
         fom: CraneFom,
@@ -42,7 +49,8 @@ impl MotionPlatformLp {
             registry,
             fom,
             telemetry,
-            controller: MotionController::new(visual_fps, seed),
+            visual_fps,
+            controller: MotionController::new(visual_fps, seed ^ MOTION_SEED_SALT),
             crane: CraneStateMsg::default(),
             previous_speed: 0.0,
             previous_yaw: 0.0,
@@ -107,6 +115,15 @@ impl LogicalProcess for MotionPlatformLp {
 
     fn last_step_cost(&self) -> Micros {
         Micros::from_millis(6)
+    }
+
+    fn begin_session(&mut self, _cb: &mut dyn CbApi, seed: u64) -> Result<(), CbError> {
+        self.controller = MotionController::new(self.visual_fps, seed ^ MOTION_SEED_SALT);
+        self.crane = CraneStateMsg::default();
+        self.previous_speed = 0.0;
+        self.previous_yaw = 0.0;
+        self.cues_processed = 0;
+        Ok(())
     }
 }
 

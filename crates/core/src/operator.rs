@@ -28,6 +28,11 @@ pub trait Operator: Send {
 
     /// Produces the control inputs for one frame of `dt` seconds.
     fn control(&mut self, observation: &Observation, dt: f64) -> OperatorInputMsg;
+
+    /// Puts the operator back in the seat for a fresh session: any internal
+    /// clock or progress state returns to its initial value. Stateless
+    /// policies may keep the default no-op.
+    fn reset(&mut self) {}
 }
 
 /// Nobody at the controls.
@@ -68,6 +73,10 @@ impl Operator for RecklessOperator {
             telescope: 1.0,
             hoist: (self.time * 0.8).sin(),
         }
+    }
+
+    fn reset(&mut self) {
+        self.time = 0.0;
     }
 }
 
@@ -195,6 +204,11 @@ impl Operator for ExamOperator {
             }
             _ => OperatorInputMsg { brake: 1.0, ..Default::default() },
         }
+    }
+
+    fn reset(&mut self) {
+        self.waypoint_index = 0;
+        self.time = 0.0;
     }
 }
 

@@ -176,6 +176,16 @@ impl LogicalProcess for ScenarioLp {
     fn last_step_cost(&self) -> Micros {
         Micros::from_millis(1)
     }
+
+    fn begin_session(&mut self, _cb: &mut dyn CbApi, _seed: u64) -> Result<(), CbError> {
+        self.phase = CoursePhase::Driving;
+        self.score = 100.0;
+        self.elapsed = 0.0;
+        self.bar_hits = 0;
+        self.crane = CraneStateMsg::default();
+        self.hook = HookStateMsg::default();
+        Ok(())
+    }
 }
 
 #[cfg(test)]

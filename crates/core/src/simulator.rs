@@ -73,6 +73,9 @@ pub struct CraneSimulator {
     fom: CraneFom,
     display_count: usize,
     barrier_overhead: Micros,
+    /// Simulation time at which sessions start (the end of CB initialization);
+    /// session resets rewind the whole cluster to this instant.
+    session_epoch: Micros,
 }
 
 impl CraneSimulator {
@@ -161,7 +164,7 @@ impl CraneSimulator {
                 registry.clone(),
                 fom,
                 config.target_fps,
-                config.seed ^ 0x5eed,
+                config.seed,
                 telemetry.clone(),
             )),
         )?;
@@ -175,9 +178,43 @@ impl CraneSimulator {
             fom,
             display_count: config.display_channels,
             barrier_overhead: Micros::from_millis(3),
+            session_epoch: Micros::ZERO,
         };
         simulator.cluster.initialize()?;
+        // Every session — the first one included — starts from the canonical
+        // post-initialization state, so a recycled simulator replays a fresh
+        // one bit for bit.
+        simulator.session_epoch = simulator.cluster.now();
+        simulator.start_session(config.seed)?;
         Ok(simulator)
+    }
+
+    /// Recycles the simulator for a new session without tearing down the
+    /// rack: the scene assets, CB kernels and established virtual channels
+    /// are reused (the expensive initialization protocol does not run again)
+    /// while every piece of session state — telemetry, LAN and fault
+    /// counters, frame-sync barriers, module state, clocks and metrics — is
+    /// rewound to the canonical session start. The configuration keeps its
+    /// topology; only the session seed changes.
+    ///
+    /// Running `n` frames after this call produces a [`TelemetryTrace`]
+    /// bit-identical to a freshly built simulator with the same configuration
+    /// and seed running `n` frames.
+    ///
+    /// Any fault plan installed for the previous session is removed; install
+    /// the next session's plan after this call.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error raised by a module's session reset.
+    pub fn reset_for_session(&mut self, seed: u64) -> Result<(), CbError> {
+        self.start_session(seed)
+    }
+
+    fn start_session(&mut self, seed: u64) -> Result<(), CbError> {
+        self.config.seed = seed;
+        self.telemetry.reset();
+        self.cluster.begin_session(self.session_epoch, seed)
     }
 
     /// The configuration the simulator was built with.
@@ -338,6 +375,14 @@ impl CraneSimulator {
     /// The exam course in use (for operators and analysis code).
     pub fn course(&self) -> Course {
         Course::licensing_exam()
+    }
+
+    /// Mean modeled cost of running one frame of this whole session on a
+    /// single machine hosting the virtual cluster in-process — the placement
+    /// hint a serving layer uses to predict shard load. Zero until a frame
+    /// has run.
+    pub fn session_cost_hint(&self) -> Micros {
+        self.cluster.metrics().mean_sequential_frame_cost()
     }
 }
 

@@ -109,6 +109,12 @@ impl SharedTelemetry {
     pub fn update<R>(&self, f: impl FnOnce(&mut TelemetrySnapshot) -> R) -> R {
         f(&mut self.inner.lock())
     }
+
+    /// Clears everything recorded so far (session recycling); all clones of
+    /// the handle observe the reset.
+    pub fn reset(&self) {
+        *self.inner.lock() = TelemetrySnapshot::default();
+    }
 }
 
 /// A bit-exact digest of one executive frame, derived from the telemetry and

@@ -211,6 +211,18 @@ impl LogicalProcess for VisualDisplayLp {
     fn last_step_cost(&self) -> Micros {
         self.last_frame_time
     }
+
+    fn begin_session(&mut self, _cb: &mut dyn CbApi, _seed: u64) -> Result<(), CbError> {
+        // The scene graph and renderer are the expensive reusable assets;
+        // their transforms are overwritten from the reflected state on every
+        // step, so only the reflected copies and the barrier state reset.
+        self.sync.reset_session();
+        self.crane = CraneStateMsg::default();
+        self.hook = HookStateMsg::default();
+        self.last_frame_time = Micros::ZERO;
+        self.frames_rendered = 0;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

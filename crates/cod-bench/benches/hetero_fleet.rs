@@ -1,0 +1,12 @@
+//! Experiment E10 (`hetero_fleet`) — heterogeneous fleet serving, speed-
+//! weighted vs residency-only placement; see `crates/cod-bench/EXPERIMENTS.md`.
+//! Thin wrapper over `cod_bench::experiments::hetero_fleet` so `cargo bench`
+//! and `bench_report` report identical statistics. Set `COD_BENCH_QUICK=1`
+//! for a smoke run.
+
+use cod_bench::experiments::{hetero_fleet, ExperimentCtx};
+
+fn main() {
+    let result = hetero_fleet::run(&ExperimentCtx::from_env());
+    println!("{}", result.summary());
+}

@@ -26,6 +26,7 @@ fn config(shards: usize, sessions: usize) -> FleetConfig {
         max_pending: 16,
         workload: workload(sessions),
         parallel: false,
+        ..FleetConfig::quick(shards, 0)
     }
 }
 

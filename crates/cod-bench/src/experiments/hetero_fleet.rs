@@ -1,0 +1,101 @@
+//! Experiment E10 — heterogeneous fleet serving: speed-weighted placement
+//! versus residency-only placement on unequal machines.
+//!
+//! The paper's premise is squeezing a simulator out of *commodity* desktop
+//! PCs, and commodity boxes are never equal. E10 serves the same seeded
+//! workload on a 1×2.0-speed + 3×0.5-speed fleet three ways: counting
+//! residents (the policy a homogeneous fleet gets away with), weighing
+//! shards by their speed-scaled modeled backlog, and the fully
+//! heterogeneity-aware stack (speed weighting plus priority preemption plus
+//! live migration). Throughput is accounted in modeled time, so the ratios
+//! are deterministic; `fleet_report --quick` gates speed-weighted >
+//! residency-only on every CI run.
+
+use cod_fleet::{run_fleet, FleetConfig, PlacementPolicy, ShardConfig, WorkloadConfig};
+
+use super::ExperimentCtx;
+use crate::measure::measure;
+use crate::report::{DerivedMetric, ExperimentResult};
+
+/// The heterogeneous rack every E10 row serves: one double-speed PC plus
+/// three half-speed PCs.
+const SPEEDS: [f64; 4] = [2.0, 0.5, 0.5, 0.5];
+
+fn config(sessions: usize, placement: PlacementPolicy, aware: bool) -> FleetConfig {
+    FleetConfig {
+        shards: SPEEDS.len(),
+        shard: ShardConfig { slots: 4, batch_frames: 8, pool_per_shape: 2 },
+        shard_speeds: SPEEDS.to_vec(),
+        placement,
+        preemption: aware,
+        migration: aware,
+        max_pending: 16,
+        workload: WorkloadConfig {
+            sessions,
+            seed: 0xC0D,
+            base_frames: 24,
+            mean_interarrival_ticks: 1,
+        },
+        parallel: false,
+    }
+}
+
+/// Modeled sessions/sec on the standard E10 workload under one policy mix.
+pub fn sessions_per_sec(placement: PlacementPolicy, aware: bool) -> f64 {
+    run_fleet(&config(32, placement, aware)).expect("fleet drains").sessions_per_sec()
+}
+
+/// Runs E10 and returns its result.
+pub fn run(ctx: &ExperimentCtx) -> ExperimentResult {
+    let residency = sessions_per_sec(PlacementPolicy::LeastResident, false);
+    let weighted = sessions_per_sec(PlacementPolicy::SpeedWeighted, false);
+    let aware = sessions_per_sec(PlacementPolicy::SpeedWeighted, true);
+    let placement_gain = weighted / residency.max(1e-12);
+    let aware_gain = aware / residency.max(1e-12);
+
+    if ctx.tables {
+        println!(
+            "\n=== E10: heterogeneous fleet (1x2.0 + 3x0.5 shards, 32 sessions, modeled time) ==="
+        );
+        println!("policy                                   | sessions/s | vs residency");
+        println!("residency-only placement                 | {residency:>10.2} |   1.00x");
+        println!(
+            "speed-weighted placement                 | {weighted:>10.2} | {placement_gain:>6.2}x"
+        );
+        println!("speed-weighted + preemption + migration  | {aware:>10.2} | {aware_gain:>6.2}x");
+        println!();
+    }
+
+    // Headline routine: drain a small heterogeneity-aware fleet.
+    let timed_config = config(8, PlacementPolicy::SpeedWeighted, true);
+    let m = measure(&ctx.measure, || {
+        run_fleet(&timed_config).expect("fleet drains");
+    });
+
+    if ctx.tables {
+        println!(
+            "measured: residency-only {residency:.2} vs speed-weighted {weighted:.2} sessions/s \
+             ({placement_gain:.2}x; fully aware {aware_gain:.2}x)\n"
+        );
+    }
+    ExperimentResult {
+        id: "E10".into(),
+        name: "hetero_fleet".into(),
+        bench_target: "hetero_fleet".into(),
+        metric: "serve an 8-session fleet to drain on 1 fast + 3 slow shards".into(),
+        timing: m.stats,
+        iters_per_sample: m.iters_per_sample,
+        comparison: None,
+        derived: vec![
+            DerivedMetric::new("sessions_per_sec_residency_only", "1/s", residency),
+            DerivedMetric::new("sessions_per_sec_speed_weighted", "1/s", weighted),
+            DerivedMetric::new("sessions_per_sec_fully_aware", "1/s", aware),
+            DerivedMetric::new("speed_weighted_gain", "x", placement_gain),
+            DerivedMetric::new("fully_aware_gain", "x", aware_gain),
+        ],
+        notes: "Throughput is modeled, so the policy gains are deterministic; `fleet_report \
+                --quick` gates speed-weighted > residency-only on the same 1x2.0 + 3x0.5 rack \
+                and interactive p95 <= batch p95 under preemption."
+            .into(),
+    }
+}

@@ -1,4 +1,4 @@
-//! The nine experiments of `EXPERIMENTS.md`, as library code.
+//! The ten experiments of `EXPERIMENTS.md`, as library code.
 //!
 //! Each submodule owns one experiment: it prints the experiment's
 //! reproduction table (the analytic series the paper's figures correspond
@@ -13,6 +13,7 @@ pub mod collision;
 pub mod dynamics;
 pub mod fleet;
 pub mod framerate;
+pub mod hetero_fleet;
 pub mod init_protocol;
 pub mod platform;
 pub mod routing;
@@ -54,7 +55,7 @@ impl ExperimentCtx {
     }
 }
 
-/// Runs all nine experiments in order, E1 first.
+/// Runs all ten experiments in order, E1 first.
 pub fn all(ctx: &ExperimentCtx) -> Vec<ExperimentResult> {
     vec![
         framerate::run(ctx),
@@ -66,5 +67,6 @@ pub fn all(ctx: &ExperimentCtx) -> Vec<ExperimentResult> {
         sync_overhead::run(ctx),
         cluster_speedup::run(ctx),
         fleet::run(ctx),
+        hetero_fleet::run(ctx),
     ]
 }

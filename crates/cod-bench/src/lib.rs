@@ -9,7 +9,7 @@
 //!   comparison table;
 //! - [`json`] — re-export of the shared [`cod_json`] tree backing the report
 //!   (the vendored serde is a marker-trait stub);
-//! - [`experiments`] — experiments E1–E9 themselves, shared by the bench
+//! - [`experiments`] — experiments E1–E10 themselves, shared by the bench
 //!   targets and the `bench_report` runner binary.
 
 pub mod experiments;

@@ -2,14 +2,26 @@
 //! properties can be property-tested without building simulators.
 //!
 //! The fleet owns the actual sessions; this state machine owns the *counts*:
-//! how many sessions each shard hosts, how many arrivals wait in the bounded
-//! admission queue, and the conservation ledger (offered = admitted +
-//! rejected + pending, admitted = completed + resident). Placement picks the
-//! least-loaded shard with a free slot, optionally weighted by the shards'
-//! modeled backlog cost (see [`cod_cluster::least_loaded`]).
+//! how many sessions each shard hosts, how many arrivals of each priority
+//! class wait in the bounded admission queue, and the conservation ledger.
+//! With preemption in the picture the ledger gains a `preempted` term (a
+//! preempted resident returns to the queue and is admitted again later):
+//!
+//! ```text
+//! offered  = admitted + rejected + pending - preempted
+//! admitted = completed + resident + preempted
+//! ```
+//!
+//! The queue is a *priority* queue over [`Priority`] classes: placement
+//! always drains the most urgent non-empty class first (FIFO within a
+//! class — the fleet driver keeps the actual specs in matching order).
+//! Placement picks the least-loaded shard with a free slot, optionally
+//! weighted by the shards' modeled backlog cost (see
+//! [`cod_cluster::least_loaded`]).
 
-use cod_cluster::least_loaded;
 use cod_net::Micros;
+
+use crate::workload::Priority;
 
 /// Sizing of the admission controller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,16 +41,22 @@ pub struct AdmissionState {
     config: AdmissionConfig,
     /// Resident session count per shard.
     residents: Vec<usize>,
-    /// Arrivals accepted into the queue but not yet placed.
-    pending: usize,
+    /// Queued sessions per priority class (indexed by [`Priority::index`]).
+    pending_by_class: [usize; Priority::COUNT],
     /// Total arrivals ever offered.
     pub offered: u64,
-    /// Arrivals placed onto a shard.
+    /// Placements onto a shard (re-placements of preempted sessions count
+    /// again).
     pub admitted: u64,
     /// Arrivals turned away because the queue was full.
     pub rejected: u64,
     /// Sessions retired from a shard.
     pub completed: u64,
+    /// Residents pushed back to the queue to make room for a more urgent
+    /// session.
+    pub preempted: u64,
+    /// Residents moved live from one shard to another.
+    pub migrated: u64,
     /// Rejections that happened while a shard slot was still free. Such a
     /// rejection is avoidable (the queue could have drained into the slot
     /// first), so a correct *driver* keeps this at zero; the fleet invariants
@@ -62,11 +80,13 @@ impl AdmissionState {
         AdmissionState {
             residents: vec![0; config.shards],
             config,
-            pending: 0,
+            pending_by_class: [0; Priority::COUNT],
             offered: 0,
             admitted: 0,
             rejected: 0,
             completed: 0,
+            preempted: 0,
+            migrated: 0,
             rejected_with_free_slot: 0,
             peak_pending: 0,
             peak_residents: 0,
@@ -78,9 +98,20 @@ impl AdmissionState {
         self.config
     }
 
-    /// Number of sessions currently waiting in the queue.
+    /// Number of sessions currently waiting in the queue, over all classes.
     pub fn pending(&self) -> usize {
-        self.pending
+        self.pending_by_class.iter().sum()
+    }
+
+    /// Queued session counts per priority class (indexed by
+    /// [`Priority::index`]).
+    pub fn pending_by_class(&self) -> [usize; Priority::COUNT] {
+        self.pending_by_class
+    }
+
+    /// The most urgent class with a queued session, if any.
+    pub fn highest_pending(&self) -> Option<Priority> {
+        Priority::ALL.iter().rev().copied().find(|p| self.pending_by_class[p.index()] > 0)
     }
 
     /// Resident session count per shard.
@@ -98,45 +129,44 @@ impl AdmissionState {
         self.config.shards * self.config.slots_per_shard - self.resident_total()
     }
 
-    /// Offers one arrival: queued (`true`) or rejected by backpressure
-    /// (`false`). A rejection at a moment when a shard slot is still free is
-    /// *avoidable* — the driver could have drained the queue into the free
-    /// slot first — and is counted in
+    /// Offers one arrival of class `priority`: queued (`true`) or rejected by
+    /// backpressure (`false`). A rejection at a moment when a shard slot is
+    /// still free is *avoidable* — the driver could have drained the queue
+    /// into the free slot first — and is counted in
     /// [`AdmissionState::rejected_with_free_slot`]; a correct driver (see
     /// [`crate::fleet::run_fleet`]) places queued sessions before bouncing an
     /// arrival, keeping that counter at zero.
-    pub fn offer(&mut self) -> bool {
+    pub fn offer(&mut self, priority: Priority) -> bool {
         self.offered += 1;
-        if self.pending >= self.config.max_pending {
+        if self.pending() >= self.config.max_pending {
             self.rejected += 1;
             if self.free_slots() > 0 {
                 self.rejected_with_free_slot += 1;
             }
             return false;
         }
-        self.pending += 1;
-        self.peak_pending = self.peak_pending.max(self.pending);
+        self.pending_by_class[priority.index()] += 1;
+        self.peak_pending = self.peak_pending.max(self.pending());
         true
     }
 
-    /// Places the longest-waiting queued session onto the least-loaded shard
-    /// with a free slot, weighting ties by the shards' modeled backlog cost
-    /// when provided. Returns the chosen shard, or `None` when the queue is
-    /// empty or every slot is taken (backpressure holds the queue).
-    pub fn place_weighted(&mut self, backlog: &[Micros]) -> Option<usize> {
-        if self.pending == 0 {
-            return None;
-        }
+    /// Places the longest-waiting session of the most urgent queued class
+    /// onto the least-loaded shard with a free slot, weighting ties by the
+    /// shards' modeled backlog cost when provided. Returns the chosen shard
+    /// and the class drained, or `None` when the queue is empty or every slot
+    /// is taken (backpressure holds the queue).
+    pub fn place_weighted(&mut self, backlog: &[Micros]) -> Option<(usize, Priority)> {
+        let priority = self.highest_pending()?;
         let chosen = self.choose_shard(backlog)?;
-        self.pending -= 1;
+        self.pending_by_class[priority.index()] -= 1;
         self.admitted += 1;
         self.residents[chosen] += 1;
         self.peak_residents = self.peak_residents.max(self.residents[chosen]);
-        Some(chosen)
+        Some((chosen, priority))
     }
 
     /// [`AdmissionState::place_weighted`] with resident counts as the load.
-    pub fn place(&mut self) -> Option<usize> {
+    pub fn place(&mut self) -> Option<(usize, Priority)> {
         self.place_weighted(&[])
     }
 
@@ -151,47 +181,84 @@ impl AdmissionState {
         self.completed += 1;
     }
 
+    /// Whether a resident may be preempted right now: the queue must have
+    /// room to take it back, or the bounded-queue invariant would break.
+    pub fn can_preempt(&self) -> bool {
+        self.pending() < self.config.max_pending
+    }
+
+    /// Pushes one resident of class `victim` from `shard` back into the
+    /// queue, to make room for a more urgent session. The session stays
+    /// admitted-then-preempted in the ledger; its eventual re-placement
+    /// counts in `admitted` again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` hosts no session or the queue has no room (check
+    /// [`AdmissionState::can_preempt`] first).
+    pub fn preempt(&mut self, shard: usize, victim: Priority) {
+        assert!(self.residents[shard] > 0, "shard {shard} has no resident session to preempt");
+        assert!(self.can_preempt(), "the queue has no room for a preempted session");
+        self.residents[shard] -= 1;
+        self.pending_by_class[victim.index()] += 1;
+        self.preempted += 1;
+        self.peak_pending = self.peak_pending.max(self.pending());
+    }
+
+    /// Moves one resident live from `from` to `to` (the fleet replays the
+    /// session deterministically on the target shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` hosts no session, `to` has no free slot, or the two
+    /// are the same shard.
+    pub fn migrate(&mut self, from: usize, to: usize) {
+        assert!(from != to, "migration requires two distinct shards");
+        assert!(self.residents[from] > 0, "shard {from} has no resident session to migrate");
+        assert!(
+            self.residents[to] < self.config.slots_per_shard,
+            "shard {to} has no free slot for a migrated session"
+        );
+        self.residents[from] -= 1;
+        self.residents[to] += 1;
+        self.migrated += 1;
+        self.peak_residents = self.peak_residents.max(self.residents[to]);
+    }
+
     /// The shard a new session would be placed on, without placing it: the
     /// least-loaded shard (by backlog cost when given, else by residency)
-    /// among those with a free slot.
+    /// among those with a free slot, ties breaking toward the lowest index
+    /// (the [`cod_cluster::least_loaded`] rule). Full shards are excluded
+    /// outright rather than marked with a sentinel cost, so even a shard
+    /// whose advertised cost saturates at `u64::MAX` stays placeable.
     fn choose_shard(&self, backlog: &[Micros]) -> Option<usize> {
         let slots = self.config.slots_per_shard;
-        let loads: Vec<Micros> = self
-            .residents
+        self.residents
             .iter()
             .enumerate()
-            .map(|(i, r)| {
-                if *r >= slots {
-                    Micros(u64::MAX)
-                } else if let Some(cost) = backlog.get(i) {
-                    *cost
-                } else {
-                    Micros(*r as u64)
-                }
-            })
-            .collect();
-        let chosen = least_loaded(&loads)?;
-        if self.residents[chosen] >= slots {
-            return None;
-        }
-        Some(chosen)
+            .filter(|(_, r)| **r < slots)
+            .map(|(i, r)| (backlog.get(i).copied().unwrap_or(Micros(*r as u64)), i))
+            .min_by_key(|(load, i)| (*load, *i))
+            .map(|(_, i)| i)
     }
 
     /// Verifies the conservation ledger and capacity bounds; returns every
     /// violated property.
     pub fn violations(&self) -> Vec<String> {
         let mut out = Vec::new();
-        if self.offered != self.admitted + self.rejected + self.pending as u64 {
+        let pending = self.pending() as u64;
+        if self.offered + self.preempted != self.admitted + self.rejected + pending {
             out.push(format!(
-                "offered {} != admitted {} + rejected {} + pending {}",
-                self.offered, self.admitted, self.rejected, self.pending
+                "offered {} + preempted {} != admitted {} + rejected {} + pending {}",
+                self.offered, self.preempted, self.admitted, self.rejected, pending
             ));
         }
-        if self.admitted != self.completed + self.resident_total() as u64 {
+        if self.admitted != self.completed + self.preempted + self.resident_total() as u64 {
             out.push(format!(
-                "admitted {} != completed {} + resident {}",
+                "admitted {} != completed {} + preempted {} + resident {}",
                 self.admitted,
                 self.completed,
+                self.preempted,
                 self.resident_total()
             ));
         }
@@ -203,10 +270,11 @@ impl AdmissionState {
                 ));
             }
         }
-        if self.pending > self.config.max_pending {
+        if self.pending() > self.config.max_pending {
             out.push(format!(
                 "queue depth {} exceeds bound {}",
-                self.pending, self.config.max_pending
+                self.pending(),
+                self.config.max_pending
             ));
         }
         // `rejected_with_free_slot` is deliberately not checked here: for the
@@ -226,13 +294,17 @@ mod tests {
         AdmissionConfig { shards, slots_per_shard: slots, max_pending }
     }
 
+    fn priority(code: u8) -> Priority {
+        Priority::ALL[code as usize % Priority::COUNT]
+    }
+
     #[test]
     fn offers_queue_until_the_bound_then_reject() {
         let mut adm = AdmissionState::new(config(2, 1, 3));
         for _ in 0..3 {
-            assert!(adm.offer());
+            assert!(adm.offer(Priority::Training));
         }
-        assert!(!adm.offer(), "fourth arrival must bounce off the bounded queue");
+        assert!(!adm.offer(Priority::Training), "fourth arrival must bounce off the bounded queue");
         assert_eq!(adm.rejected, 1);
         assert_eq!(adm.pending(), 3);
         assert!(adm.violations().is_empty(), "{:?}", adm.violations());
@@ -242,49 +314,169 @@ mod tests {
     fn placement_prefers_the_least_loaded_shard() {
         let mut adm = AdmissionState::new(config(3, 2, 10));
         for _ in 0..4 {
-            assert!(adm.offer());
+            assert!(adm.offer(Priority::Batch));
         }
-        assert_eq!(adm.place(), Some(0));
-        assert_eq!(adm.place(), Some(1));
-        assert_eq!(adm.place(), Some(2));
-        assert_eq!(adm.place(), Some(0));
+        assert_eq!(adm.place(), Some((0, Priority::Batch)));
+        assert_eq!(adm.place(), Some((1, Priority::Batch)));
+        assert_eq!(adm.place(), Some((2, Priority::Batch)));
+        assert_eq!(adm.place(), Some((0, Priority::Batch)));
         assert_eq!(adm.residents(), &[2, 1, 1]);
+    }
+
+    #[test]
+    fn placement_drains_the_most_urgent_class_first() {
+        let mut adm = AdmissionState::new(config(1, 4, 10));
+        assert!(adm.offer(Priority::Batch));
+        assert!(adm.offer(Priority::Interactive));
+        assert!(adm.offer(Priority::Training));
+        assert_eq!(adm.highest_pending(), Some(Priority::Interactive));
+        assert_eq!(adm.place().map(|(_, p)| p), Some(Priority::Interactive));
+        assert_eq!(adm.place().map(|(_, p)| p), Some(Priority::Training));
+        assert_eq!(adm.place().map(|(_, p)| p), Some(Priority::Batch));
+        assert_eq!(adm.highest_pending(), None);
+        assert!(adm.violations().is_empty(), "{:?}", adm.violations());
     }
 
     #[test]
     fn backlog_weights_override_residency_ties() {
         let mut adm = AdmissionState::new(config(2, 4, 10));
-        assert!(adm.offer());
+        assert!(adm.offer(Priority::Training));
         // Shard 0 nominally less resident but modeled as far more loaded.
         let backlog = [Micros::from_millis(900), Micros::from_millis(10)];
-        assert_eq!(adm.place_weighted(&backlog), Some(1));
+        assert_eq!(adm.place_weighted(&backlog), Some((1, Priority::Training)));
     }
 
     #[test]
     fn place_on_a_full_fleet_backpressures() {
         let mut adm = AdmissionState::new(config(1, 1, 5));
-        assert!(adm.offer());
-        assert!(adm.offer());
-        assert_eq!(adm.place(), Some(0));
+        assert!(adm.offer(Priority::Batch));
+        assert!(adm.offer(Priority::Batch));
+        assert_eq!(adm.place(), Some((0, Priority::Batch)));
         assert_eq!(adm.place(), None, "no slot free: the queue must hold");
         adm.complete(0);
-        assert_eq!(adm.place(), Some(0));
+        assert_eq!(adm.place(), Some((0, Priority::Batch)));
         assert!(adm.violations().is_empty(), "{:?}", adm.violations());
     }
 
+    #[test]
+    fn saturated_cost_hints_never_shadow_a_free_slot() {
+        // Regression: a full shard used to be marked with a Micros(u64::MAX)
+        // sentinel, so a free shard whose advertised cost also saturated at
+        // u64::MAX could lose the tie to a lower-indexed *full* shard and the
+        // session was rejected beside idle capacity.
+        let mut adm = AdmissionState::new(config(2, 1, 4));
+        assert!(adm.offer(Priority::Batch));
+        assert!(adm.offer(Priority::Batch));
+        assert_eq!(adm.place_weighted(&[Micros(u64::MAX); 2]), Some((0, Priority::Batch)));
+        assert_eq!(
+            adm.place_weighted(&[Micros(u64::MAX); 2]),
+            Some((1, Priority::Batch)),
+            "shard 1 is free and must win even at a saturated cost hint"
+        );
+        assert!(adm.violations().is_empty(), "{:?}", adm.violations());
+    }
+
+    #[test]
+    fn preemption_requeues_the_victim_and_balances_the_ledger() {
+        let mut adm = AdmissionState::new(config(1, 1, 4));
+        assert!(adm.offer(Priority::Batch));
+        assert_eq!(adm.place(), Some((0, Priority::Batch)));
+        // An interactive arrival finds the fleet full; the batch resident is
+        // preempted back to the queue and the interactive session takes over.
+        assert!(adm.offer(Priority::Interactive));
+        assert_eq!(adm.place(), None, "slot taken: must preempt first");
+        assert!(adm.can_preempt());
+        adm.preempt(0, Priority::Batch);
+        assert_eq!(adm.preempted, 1);
+        assert_eq!(adm.pending_by_class(), [1, 0, 1]);
+        assert_eq!(adm.place(), Some((0, Priority::Interactive)));
+        assert!(adm.violations().is_empty(), "{:?}", adm.violations());
+        // The interactive session completes; the batch victim resumes.
+        adm.complete(0);
+        assert_eq!(adm.place(), Some((0, Priority::Batch)));
+        adm.complete(0);
+        assert!(adm.violations().is_empty(), "{:?}", adm.violations());
+        assert_eq!(adm.admitted, 3, "re-placement of the victim counts again");
+        assert_eq!(adm.completed, 2);
+    }
+
+    #[test]
+    fn preemption_respects_the_queue_bound() {
+        let mut adm = AdmissionState::new(config(1, 1, 1));
+        assert!(adm.offer(Priority::Batch));
+        assert_eq!(adm.place(), Some((0, Priority::Batch)));
+        assert!(adm.offer(Priority::Interactive));
+        assert!(!adm.can_preempt(), "queue full: the victim would overflow the bound");
+    }
+
+    #[test]
+    fn migration_moves_residency_between_shards() {
+        let mut adm = AdmissionState::new(config(2, 2, 4));
+        assert!(adm.offer(Priority::Training));
+        assert!(adm.offer(Priority::Training));
+        assert_eq!(adm.place(), Some((0, Priority::Training)));
+        assert_eq!(adm.place(), Some((1, Priority::Training)));
+        adm.migrate(0, 1);
+        assert_eq!(adm.residents(), &[0, 2]);
+        assert_eq!(adm.migrated, 1);
+        assert!(adm.violations().is_empty(), "{:?}", adm.violations());
+        adm.complete(1);
+        adm.complete(1);
+        assert!(adm.violations().is_empty(), "{:?}", adm.violations());
+    }
+
+    #[test]
+    #[should_panic]
+    fn migration_to_a_full_shard_is_rejected() {
+        let mut adm = AdmissionState::new(config(2, 1, 4));
+        assert!(adm.offer(Priority::Batch));
+        assert!(adm.offer(Priority::Batch));
+        assert!(adm.place().is_some());
+        assert!(adm.place().is_some());
+        adm.migrate(0, 1);
+    }
+
     proptest! {
-        /// Drive the controller with an arbitrary event schedule: capacity is
-        /// never exceeded, nothing is rejected while a slot is free (the queue
-        /// always absorbs first), and the session ledger always balances.
+        /// Drive the controller with an arbitrary event schedule — offers of
+        /// every class, placements, completions, preemptions and migrations:
+        /// capacity is never exceeded and the session ledger always balances.
         #[test]
         fn prop_admission_is_safe(shards in 1usize..5, slots in 1usize..4,
                                   max_pending in 1usize..6,
-                                  events in proptest::collection::vec(0u8..3, 1..120) ) {
+                                  events in proptest::collection::vec((0u8..5, 0u8..6), 1..120) ) {
             let mut adm = AdmissionState::new(config(shards, slots, max_pending));
-            for event in events {
+            for (event, arg) in events {
                 match event {
-                    0 => { let _ = adm.offer(); }
+                    0 => { let _ = adm.offer(priority(arg)); }
                     1 => { let _ = adm.place(); }
+                    2 => {
+                        // Preempt from the busiest shard when allowed. The
+                        // driver tracks victims' real classes; for the ledger
+                        // any class is equivalent.
+                        if adm.can_preempt() {
+                            if let Some((shard, _)) = adm
+                                .residents()
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, r)| **r > 0)
+                                .max_by_key(|(_, r)| **r)
+                            {
+                                adm.preempt(shard, priority(arg));
+                            }
+                        }
+                    }
+                    3 => {
+                        // Migrate busiest -> least loaded when legal.
+                        let busiest = adm.residents().iter().enumerate()
+                            .filter(|(_, r)| **r > 0).max_by_key(|(_, r)| **r).map(|(i, _)| i);
+                        let emptiest = adm.residents().iter().enumerate()
+                            .filter(|(_, r)| **r < slots).min_by_key(|(_, r)| **r).map(|(i, _)| i);
+                        if let (Some(from), Some(to)) = (busiest, emptiest) {
+                            if from != to {
+                                adm.migrate(from, to);
+                            }
+                        }
+                    }
                     _ => {
                         // Retire from the busiest shard, if any session runs.
                         if let Some((shard, _)) = adm
@@ -310,13 +502,13 @@ mod tests {
         #[test]
         fn prop_drain_first_driver_never_rejects_avoidably(
             shards in 1usize..4, slots in 1usize..4, max_pending in 1usize..5,
-            events in proptest::collection::vec(0u8..3, 1..120)) {
+            events in proptest::collection::vec((0u8..3, 0u8..6), 1..120)) {
             let mut adm = AdmissionState::new(config(shards, slots, max_pending));
-            for event in events {
+            for (event, arg) in events {
                 match event {
                     0 | 1 => {
                         while adm.pending() >= max_pending && adm.place().is_some() {}
-                        let _ = adm.offer();
+                        let _ = adm.offer(priority(arg));
                     }
                     _ => {
                         if let Some((shard, _)) =
@@ -332,14 +524,19 @@ mod tests {
         }
 
         /// Greedy place-after-offer never strands a queued session while a
-        /// slot is free.
+        /// slot is free, and never drains a less urgent class while a more
+        /// urgent one still waits.
         #[test]
         fn prop_no_session_waits_beside_a_free_slot(shards in 1usize..4, slots in 1usize..4,
-                                                    offers in 1usize..40) {
+                                                    offers in proptest::collection::vec(0u8..6, 1..40)) {
             let mut adm = AdmissionState::new(config(shards, slots, 64));
-            for _ in 0..offers {
-                let _ = adm.offer();
-                while adm.place().is_some() {}
+            for code in offers {
+                let _ = adm.offer(priority(code));
+                let mut last = Priority::Interactive;
+                while let Some((_, placed)) = adm.place() {
+                    prop_assert!(placed <= last, "placed {placed:?} after {last:?}");
+                    last = placed;
+                }
                 prop_assert!(adm.pending() == 0 || adm.free_slots() == 0,
                              "queued {} with {} free slots", adm.pending(), adm.free_slots());
             }

@@ -5,17 +5,30 @@
 //! cargo run --release -p cod-fleet --bin fleet_report [-- --quick] [--seed N] [--shards N] [--out PATH]
 //! ```
 //!
-//! The same seeded workload is served twice — on one shard (the baseline) and
-//! on `--shards` shards — and the ratio of their modeled sessions/sec is the
-//! fleet's scaling factor. Exits non-zero if scaling from 1 shard to 4+
-//! shards drops below 2x, mirroring the >=3x COD speedup gate of
-//! `bench_report`. The report carries no wall-clock stamp: two runs with the
-//! same seed produce byte-identical files.
+//! The same seeded workload is served five times:
+//!
+//! 1. on one shard (the scaling baseline);
+//! 2. on `--shards` homogeneous shards — the ratio of modeled sessions/sec is
+//!    the fleet's scaling factor, gated at >= 2x for 4+ shards;
+//! 3. on the heterogeneous fleet (1×2.0-speed + 3×0.5-speed) with
+//!    residency-only placement;
+//! 4. on the same heterogeneous fleet with speed-weighted placement,
+//!    priorities, preemption and live migration engaged; and
+//! 5. on the aware fleet with halved slots (the priority-pressure run), so
+//!    the fleet saturates and preemption genuinely fires.
+//!
+//! Exits non-zero if the homogeneous scaling drops below 2x, if the
+//! speed-weighted heterogeneous run does not strictly beat the
+//! residency-only one (the E10 gate), if the aware run never migrates, if
+//! the pressure run never preempts, or if interactive-class p95 latency
+//! regresses above batch-class p95 under pressure. The report carries no
+//! wall-clock stamp: two runs with the same seed produce byte-identical
+//! files — preemption and migration included.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
-use cod_fleet::{document, run_fleet, FleetConfig, FleetReport};
+use cod_fleet::{document, run_fleet, FleetConfig, FleetReport, PlacementPolicy, Priority};
 
 /// Minimum acceptable sessions/sec scaling from one shard to the full fleet.
 const SCALING_FLOOR: f64 = 2.0;
@@ -80,45 +93,91 @@ fn main() -> ExitCode {
             FleetConfig::full(shards, args.seed)
         }
     };
+    // The heterogeneous pair: same workload, 1×2.0 + 3×0.5 shards; only the
+    // serving policies differ between the two runs.
+    let hetero_base = FleetConfig { shard_speeds: vec![2.0, 0.5, 0.5, 0.5], ..make_config(4) };
+    let hetero_naive = FleetConfig {
+        placement: PlacementPolicy::LeastResident,
+        preemption: false,
+        migration: false,
+        ..hetero_base.clone()
+    };
+    let hetero_aware = FleetConfig {
+        placement: PlacementPolicy::SpeedWeighted,
+        preemption: true,
+        migration: true,
+        ..hetero_base
+    };
+    // The priority-pressure run: the aware stack with halved slots, so the
+    // fleet saturates and preemption actually fires. Purely a gate run; it
+    // is not part of the E10 pair (whose two sides must differ only in
+    // policy) and is not written to the report.
+    let mut hetero_pressure = hetero_aware.clone();
+    hetero_pressure.shard.slots /= 2;
 
     let workload = make_config(args.shards).workload;
     println!(
-        "fleet serving: {} sessions (seed {:#x}), {} shards vs 1-shard baseline ({} mode)",
+        "fleet serving: {} sessions (seed {:#x}), {} shards vs 1-shard baseline, plus the \
+         heterogeneous 1x2.0 + 3x0.5 pair ({} mode)",
         workload.sessions,
         args.seed,
         args.shards,
         if args.quick { "quick" } else { "full" },
     );
 
+    let timed = |config: &FleetConfig, label: &str| match run_fleet(config) {
+        Ok(outcome) => Ok(FleetReport::from_outcome(&outcome)),
+        Err(err) => Err(format!("{label} run failed: {err}")),
+    };
+
     let wall = Instant::now();
-    let baseline = match run_fleet(&make_config(1)) {
-        Ok(outcome) => outcome,
-        Err(err) => return die(&format!("baseline run failed: {err}")),
+    let baseline = match timed(&make_config(1), "baseline") {
+        Ok(report) => report,
+        Err(msg) => return die(&msg),
     };
     let baseline_wall = wall.elapsed();
     let wall = Instant::now();
-    let fleet = match run_fleet(&make_config(args.shards)) {
-        Ok(outcome) => outcome,
-        Err(err) => return die(&format!("fleet run failed: {err}")),
+    let fleet = match timed(&make_config(args.shards), "fleet") {
+        Ok(report) => report,
+        Err(msg) => return die(&msg),
     };
     let fleet_wall = wall.elapsed();
-
-    let baseline_report = FleetReport::from_outcome(&baseline);
-    let fleet_report = FleetReport::from_outcome(&fleet);
+    let wall = Instant::now();
+    let naive = match timed(&hetero_naive, "heterogeneous least-resident") {
+        Ok(report) => report,
+        Err(msg) => return die(&msg),
+    };
+    let aware = match timed(&hetero_aware, "heterogeneous speed-weighted") {
+        Ok(report) => report,
+        Err(msg) => return die(&msg),
+    };
+    let pressure = match timed(&hetero_pressure, "heterogeneous priority-pressure") {
+        Ok(report) => report,
+        Err(msg) => return die(&msg),
+    };
+    let hetero_wall = wall.elapsed();
 
     println!("\n--- 1-shard baseline ({baseline_wall:.2?} wall) ---");
-    print!("{}", baseline_report.render_table());
+    print!("{}", baseline.render_table());
     println!("\n--- {}-shard fleet ({fleet_wall:.2?} wall) ---", args.shards);
-    print!("{}", fleet_report.render_table());
+    print!("{}", fleet.render_table());
+    println!("\n--- heterogeneous pair ({hetero_wall:.2?} wall) ---");
+    println!("residency-only placement:");
+    print!("{}", naive.render_table());
+    println!("speed-weighted + priorities + preemption + migration:");
+    print!("{}", aware.render_table());
+    println!("priority pressure (halved slots, saturating):");
+    print!("{}", pressure.render_table());
 
-    let text = document(&baseline_report, &fleet_report, args.quick).to_pretty();
+    let text = document(&baseline, &fleet, Some((&naive, &aware)), args.quick).to_pretty();
     if let Err(err) = std::fs::write(&args.out, text) {
         return die(&format!("cannot write {}: {err}", args.out));
     }
     println!("\nwrote {}", args.out);
 
-    let scaling = if baseline_report.sessions_per_sec > 0.0 {
-        fleet_report.sessions_per_sec / baseline_report.sessions_per_sec
+    let mut failed = false;
+    let scaling = if baseline.sessions_per_sec > 0.0 {
+        fleet.sessions_per_sec / baseline.sessions_per_sec
     } else {
         0.0
     };
@@ -127,12 +186,80 @@ fn main() -> ExitCode {
             "REGRESSION: sessions/sec scaling {scaling:.2}x (1 -> {} shards) fell below the {SCALING_FLOOR:.1}x floor",
             args.shards
         );
+        failed = true;
+    } else {
+        println!(
+            "sessions/sec scaling 1 -> {} shards: {scaling:.2}x (floor {SCALING_FLOOR:.1}x) — ok",
+            args.shards
+        );
+    }
+
+    // E10 gate: on unequal machines, weighing placement by speed-scaled
+    // backlog must strictly beat counting residents.
+    if aware.sessions_per_sec <= naive.sessions_per_sec {
+        eprintln!(
+            "REGRESSION: speed-weighted placement {:.2}/s does not beat residency-only {:.2}/s \
+             on the 1x2.0 + 3x0.5 fleet",
+            aware.sessions_per_sec, naive.sessions_per_sec
+        );
+        failed = true;
+    } else {
+        println!(
+            "heterogeneous fleet: speed-weighted {:.2}/s vs residency-only {:.2}/s ({:.2}x) — ok",
+            aware.sessions_per_sec,
+            naive.sessions_per_sec,
+            aware.sessions_per_sec / naive.sessions_per_sec
+        );
+    }
+
+    // Priority gate, on the pressure run (halved slots so the fleet
+    // saturates): preemption must actually fire — a gate over a mechanism
+    // the run never exercised proves nothing — and interactive sessions
+    // must not wait longer than batch sessions at the tail. Percentiles of
+    // an empty class read 0.0, so only compare classes that completed
+    // sessions (an exotic --seed could drain one class empty).
+    if pressure.preempted == 0 {
+        eprintln!(
+            "REGRESSION: the saturated priority run performed no preemption — the priority gate \
+             is vacuous"
+        );
+        failed = true;
+    } else {
+        println!("preemptions in the saturated priority run: {} — ok", pressure.preempted);
+    }
+    let int_p95 = pressure.class_latency_p95[Priority::Interactive.index()];
+    let bat_p95 = pressure.class_latency_p95[Priority::Batch.index()];
+    let int_n = pressure.class_completed[Priority::Interactive.index()];
+    let bat_n = pressure.class_completed[Priority::Batch.index()];
+    if int_n == 0 || bat_n == 0 {
+        println!(
+            "priority latency gate skipped: {int_n} interactive / {bat_n} batch sessions \
+             completed — nothing to compare"
+        );
+    } else if int_p95 > bat_p95 {
+        eprintln!(
+            "REGRESSION: interactive-class p95 latency {int_p95:.1} ticks exceeds batch-class \
+             p95 {bat_p95:.1} ticks despite priority admission"
+        );
+        failed = true;
+    } else {
+        println!("interactive p95 {int_p95:.1} ticks <= batch p95 {bat_p95:.1} ticks — ok");
+    }
+
+    // The determinism contract is exercised under migration: the aware run
+    // must actually migrate, or the byte-exact replay gate proves nothing.
+    if aware.migrated == 0 {
+        eprintln!(
+            "REGRESSION: the heterogeneous run performed no migration — the replay gate is vacuous"
+        );
+        failed = true;
+    } else {
+        println!("live migrations in the heterogeneous run: {} — ok", aware.migrated);
+    }
+
+    if failed {
         return ExitCode::FAILURE;
     }
-    println!(
-        "sessions/sec scaling 1 -> {} shards: {scaling:.2}x (floor {SCALING_FLOOR:.1}x) — ok",
-        args.shards
-    );
     ExitCode::SUCCESS
 }
 

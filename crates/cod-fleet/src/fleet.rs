@@ -1,36 +1,74 @@
 //! The fleet executive: admit, place, batch-step and retire sessions across
-//! a pool of shards, deterministically.
+//! a pool of (possibly heterogeneous) shards, deterministically.
 //!
 //! One fleet *tick* is the unit of serving time: arrivals due at the tick are
 //! offered to the bounded admission queue (overflow is rejected —
-//! backpressure), queued sessions are placed least-loaded-first onto shards
-//! with free slots, and every shard then advances each of its resident
-//! sessions by one batch of executive frames. Shards are independent, so the
-//! stepping fans out across OS threads when asked to; results are folded back
-//! in shard order, which keeps the outcome bit-identical whether the run was
-//! parallel or not.
+//! backpressure), queued sessions are placed most-urgent-class-first onto the
+//! least-loaded shards with free slots, and every shard then advances each of
+//! its resident sessions by one batch of executive frames. Shards are
+//! independent, so the stepping fans out across OS threads when asked to;
+//! results are folded back in shard order, which keeps the outcome
+//! bit-identical whether the run was parallel or not.
+//!
+//! Three optional mechanisms make the fleet heterogeneity- and
+//! priority-aware:
+//!
+//! * **Speed-weighted placement** ([`PlacementPolicy::SpeedWeighted`]) weighs
+//!   shards by their modeled per-tick cost, which each shard scales to its
+//!   own CPU speed — one session costs a half-speed shard four times what it
+//!   costs a double-speed shard every tick, so new work drifts toward fast
+//!   machines until the rates balance.
+//! * **Preemption** (`preemption: true`): when a more urgent arrival finds
+//!   every slot taken, the least urgent resident is pushed back into the
+//!   queue (its progress serialized as a [`crate::shard::PortableSession`])
+//!   and resumed later by deterministic replay.
+//! * **Live migration** (`migration: true`): between ticks the fleet may move
+//!   one resident from the most backlogged shard to the least backlogged one
+//!   with a free slot, when the move strictly improves the pair's makespan —
+//!   replay cost included. The replayed frames are charged to the receiving
+//!   shard's modeled time.
 //!
 //! Throughput and utilization are accounted in *modeled* time (the same
 //! modeled CPU costs the cluster executive already records), so a fleet run
 //! is a pure function of its configuration: same seed, same report, byte for
-//! byte.
-
-use std::collections::VecDeque;
+//! byte — preemption and migration included.
 
 use cod_cb::CbError;
 use cod_net::Micros;
 
 use crate::admission::{AdmissionConfig, AdmissionState};
-use crate::shard::{Completed, Shard, ShardConfig, ShardStats};
-use crate::workload::{generate, WorkloadConfig};
+use crate::shard::{Completed, PortableSession, Shard, ShardConfig, ShardStats};
+use crate::workload::{generate, Priority, WorkloadConfig};
+
+/// How the fleet weighs shards when placing a queued session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// Pick the shard with the fewest resident sessions (the naive policy a
+    /// homogeneous fleet gets away with).
+    LeastResident,
+    /// Pick the shard with the smallest modeled next-tick cost, which each
+    /// shard scales to its own CPU speed (see [`Shard::next_tick_cost`]).
+    #[default]
+    SpeedWeighted,
+}
 
 /// Configuration of a fleet run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FleetConfig {
     /// Number of shards.
     pub shards: usize,
     /// Per-shard sizing and pacing.
     pub shard: ShardConfig,
+    /// Relative CPU speed per shard (1.0 = the reference desktop PC). An
+    /// empty vector means a homogeneous fleet of reference machines; missing
+    /// tail entries default to 1.0.
+    pub shard_speeds: Vec<f64>,
+    /// How queued sessions are matched to shards.
+    pub placement: PlacementPolicy,
+    /// Whether urgent arrivals may preempt less urgent residents.
+    pub preemption: bool,
+    /// Whether the fleet may migrate residents between shards to rebalance.
+    pub migration: bool,
     /// Bound on the admission queue.
     pub max_pending: usize,
     /// The session workload.
@@ -40,26 +78,53 @@ pub struct FleetConfig {
 }
 
 impl FleetConfig {
-    /// The CI smoke configuration: 64 sessions over `shards` shards.
+    /// The CI smoke configuration: 64 sessions over `shards` homogeneous
+    /// shards.
     pub fn quick(shards: usize, seed: u64) -> FleetConfig {
         FleetConfig {
             shards,
             shard: ShardConfig::default(),
+            shard_speeds: Vec::new(),
+            placement: PlacementPolicy::SpeedWeighted,
+            preemption: false,
+            migration: false,
             max_pending: 16,
             workload: WorkloadConfig::quick(seed),
             parallel: true,
         }
     }
 
-    /// The full configuration: 256 sessions over `shards` shards.
+    /// The full configuration: 256 sessions over `shards` homogeneous shards.
     pub fn full(shards: usize, seed: u64) -> FleetConfig {
         FleetConfig {
             shards,
             shard: ShardConfig::default(),
+            shard_speeds: Vec::new(),
+            placement: PlacementPolicy::SpeedWeighted,
+            preemption: false,
+            migration: false,
             max_pending: 32,
             workload: WorkloadConfig::full(seed),
             parallel: true,
         }
+    }
+
+    /// The heterogeneous CI gate configuration: one double-speed shard plus
+    /// three half-speed shards serving the quick workload with priorities,
+    /// preemption and migration all engaged.
+    pub fn heterogeneous_quick(seed: u64) -> FleetConfig {
+        FleetConfig {
+            shards: 4,
+            shard_speeds: vec![2.0, 0.5, 0.5, 0.5],
+            preemption: true,
+            migration: true,
+            ..FleetConfig::quick(4, seed)
+        }
+    }
+
+    /// The relative CPU speed of shard `i` (1.0 when not listed).
+    pub fn speed_of(&self, i: usize) -> f64 {
+        self.shard_speeds.get(i).copied().unwrap_or(1.0)
     }
 }
 
@@ -72,19 +137,25 @@ pub struct SessionOutcome {
     pub name: String,
     /// Frames the session ran.
     pub frames: usize,
+    /// The session's priority class.
+    pub priority: Priority,
     /// Tick the session arrived at.
     pub arrived_tick: u64,
-    /// Tick the session was placed at.
+    /// Tick the session was first placed at.
     pub admitted_tick: u64,
     /// Tick the session retired at.
     pub completed_tick: u64,
-    /// Shard that hosted the session.
+    /// Shard that hosted the session when it retired.
     pub shard: usize,
+    /// Times the session was preempted back to the queue.
+    pub preempted: u32,
+    /// Times the session was migrated between shards.
+    pub migrated: u32,
     /// Final exam score.
     pub score: f64,
     /// Whether the exam was passed.
     pub passed: bool,
-    /// Modeled cost the session charged its shard.
+    /// Modeled cost the session charged its final shard.
     pub cost: Micros,
 }
 
@@ -107,12 +178,17 @@ pub struct FleetOutcome {
     pub elapsed_modeled: Micros,
     /// Arrivals offered.
     pub offered: u64,
-    /// Arrivals admitted (placed on a shard).
+    /// Placements onto a shard (re-placements of preempted sessions count
+    /// again).
     pub admitted: u64,
     /// Sessions completed.
     pub completed: u64,
     /// Arrivals rejected by backpressure.
     pub rejected: u64,
+    /// Residents pushed back to the queue by preemption.
+    pub preempted: u64,
+    /// Residents moved live between shards.
+    pub migrated: u64,
     /// Rejections while a slot was free (must be zero).
     pub rejected_with_free_slot: u64,
     /// Largest admission-queue depth observed.
@@ -121,6 +197,20 @@ pub struct FleetOutcome {
     pub sessions: Vec<SessionOutcome>,
     /// Per-shard counters.
     pub shard_stats: Vec<ShardStats>,
+}
+
+/// The `p`-th percentile (0–100) of a sorted sample, by the same linear
+/// interpolation between closest ranks that `cod_bench::measure::percentile`
+/// uses — the two layers must agree on what "p95" means.
+fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = p.clamp(0.0, 100.0) / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
 }
 
 impl FleetOutcome {
@@ -134,25 +224,40 @@ impl FleetOutcome {
         }
     }
 
-    /// The `p`-th percentile (0–100) of session latency in fleet ticks.
-    pub fn latency_percentile_ticks(&self, p: f64) -> u64 {
-        if self.sessions.is_empty() {
-            return 0;
-        }
-        let mut latencies: Vec<u64> =
-            self.sessions.iter().map(SessionOutcome::latency_ticks).collect();
-        latencies.sort_unstable();
-        let rank = ((p / 100.0) * (latencies.len() - 1) as f64).round() as usize;
-        latencies[rank.min(latencies.len() - 1)]
+    /// The `p`-th percentile (0–100) of session latency in fleet ticks,
+    /// linearly interpolated between closest ranks — the same convention as
+    /// `cod_bench::measure::percentile`, so `FLEET_cod.json` and
+    /// `BENCH_cod.json` percentiles are comparable. Returns `0.0` when no
+    /// session completed.
+    pub fn latency_percentile_ticks(&self, p: f64) -> f64 {
+        self.latency_percentile_ticks_for(None, p)
     }
 
-    /// Fraction of the modeled serving time shard `i` spent busy.
+    /// [`FleetOutcome::latency_percentile_ticks`] restricted to one priority
+    /// class (`None` = all classes).
+    pub fn latency_percentile_ticks_for(&self, class: Option<Priority>, p: f64) -> f64 {
+        let mut latencies: Vec<f64> = self
+            .sessions
+            .iter()
+            .filter(|s| class.map_or(true, |c| s.priority == c))
+            .map(|s| s.latency_ticks() as f64)
+            .collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        percentile_sorted(&latencies, p)
+    }
+
+    /// Completed sessions of one priority class.
+    pub fn completed_of_class(&self, class: Priority) -> usize {
+        self.sessions.iter().filter(|s| s.priority == class).count()
+    }
+
+    /// Fraction of the modeled serving time shard `i` spent busy, or `0.0`
+    /// for an out-of-range index.
     pub fn shard_utilization(&self, i: usize) -> f64 {
         let total = self.elapsed_modeled.as_secs_f64();
-        if total <= 0.0 {
-            0.0
-        } else {
-            (self.shard_stats[i].busy.as_secs_f64() / total).min(1.0)
+        match self.shard_stats.get(i) {
+            Some(stats) if total > 0.0 => (stats.busy.as_secs_f64() / total).min(1.0),
+            _ => 0.0,
         }
     }
 
@@ -173,6 +278,25 @@ impl FleetOutcome {
     }
 }
 
+/// One queued session: either a fresh arrival (no frames yet) or a preempted
+/// resident awaiting resumption. `seq` keeps FIFO order within a priority
+/// class; preempted sessions re-enter at the back of their class.
+struct QueueEntry {
+    portable: PortableSession,
+    seq: u64,
+    was_admitted: bool,
+}
+
+/// Index of the queue entry to place next: most urgent class first, FIFO
+/// (lowest `seq`) within the class.
+fn next_queued(queue: &[QueueEntry]) -> Option<usize> {
+    queue
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, e)| (e.portable.spec.priority, std::cmp::Reverse(e.seq)))
+        .map(|(i, _)| i)
+}
+
 /// Runs a whole fleet to drain: all arrivals offered, every admitted session
 /// completed. A pure function of the configuration — running it twice yields
 /// identical [`FleetOutcome`]s.
@@ -187,54 +311,118 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetOutcome, CbError> {
         slots_per_shard: config.shard.slots,
         max_pending: config.max_pending,
     });
-    let mut shards: Vec<Shard> = (0..config.shards).map(|i| Shard::new(i, config.shard)).collect();
-    let mut queue: VecDeque<(crate::workload::SessionSpec, u64)> = VecDeque::new();
+    let mut shards: Vec<Shard> =
+        (0..config.shards).map(|i| Shard::new(i, config.shard, config.speed_of(i))).collect();
+    let mut queue: Vec<QueueEntry> = Vec::new();
+    let mut next_seq = 0u64;
     let mut sessions: Vec<SessionOutcome> = Vec::with_capacity(arrivals.len());
     let mut next_arrival = 0usize;
     let mut elapsed = Micros::ZERO;
     let mut tick = 0u64;
 
-    // Places the longest-waiting queued session, weighted by each shard's
-    // modeled backlog (the per-session cost hints). Returns false when the
+    let backlog_of = |shards: &[Shard], placement: PlacementPolicy| -> Vec<Micros> {
+        match placement {
+            PlacementPolicy::LeastResident => Vec::new(),
+            PlacementPolicy::SpeedWeighted => shards.iter().map(Shard::placement_cost).collect(),
+        }
+    };
+
+    // Places the next queued session (most urgent class first), weighted by
+    // each shard's modeled backlog under the configured policy. Replay cost
+    // of resumed sessions is charged to `resume_busy`. Returns false when the
     // queue is empty or every slot is taken.
     let place_one = |admission: &mut AdmissionState,
                      shards: &mut Vec<Shard>,
-                     queue: &mut VecDeque<(crate::workload::SessionSpec, u64)>,
+                     queue: &mut Vec<QueueEntry>,
+                     resume_busy: &mut [Micros],
                      tick: u64|
      -> Result<bool, CbError> {
-        let backlog: Vec<Micros> = shards.iter().map(Shard::backlog_cost).collect();
-        let Some(target) = admission.place_weighted(&backlog) else { return Ok(false) };
-        let (spec, arrived) = queue.pop_front().expect("admission counted a queued session");
-        shards[target].admit(spec, arrived, tick)?;
+        let backlog = backlog_of(shards, config.placement);
+        let Some((target, class)) = admission.place_weighted(&backlog) else { return Ok(false) };
+        let index = next_queued(queue).expect("admission counted a queued session");
+        let mut entry = queue.swap_remove(index);
+        debug_assert_eq!(entry.portable.spec.priority, class, "queue and ledger disagree");
+        if !entry.was_admitted {
+            entry.portable.admitted_tick = tick;
+        }
+        let replay = shards[target].resume(entry.portable)?;
+        resume_busy[target] += replay;
         Ok(true)
     };
 
     loop {
+        let mut resume_busy = vec![Micros::ZERO; config.shards];
+
         // 1. Offer the arrivals due at this tick to the bounded queue. A full
         //    queue first drains into any free slot, so an arrival is only
         //    ever rejected when the queue AND every slot are taken — never
         //    while capacity sits idle.
         while next_arrival < arrivals.len() && arrivals[next_arrival].tick <= tick {
             while admission.pending() >= config.max_pending
-                && place_one(&mut admission, &mut shards, &mut queue, tick)?
-            {}
-            if admission.offer() {
-                queue.push_back((arrivals[next_arrival].spec.clone(), tick));
+                && place_one(&mut admission, &mut shards, &mut queue, &mut resume_busy, tick)?
+            {
+            }
+            let arrival = &arrivals[next_arrival];
+            if admission.offer(arrival.spec.priority) {
+                queue.push(QueueEntry {
+                    portable: PortableSession {
+                        spec: arrival.spec.clone(),
+                        frames_done: 0,
+                        arrived_tick: tick,
+                        admitted_tick: tick,
+                        preempted: 0,
+                        migrated: 0,
+                    },
+                    seq: next_seq,
+                    was_admitted: false,
+                });
+                next_seq += 1;
             }
             next_arrival += 1;
         }
 
-        // 2. Place queued sessions least-loaded-first.
-        while place_one(&mut admission, &mut shards, &mut queue, tick)? {}
+        // 2. Place queued sessions, most urgent class first; with preemption
+        //    enabled, an urgent session that finds every slot taken evicts
+        //    the least urgent resident (which re-queues with its progress and
+        //    resumes later by replay).
+        loop {
+            while place_one(&mut admission, &mut shards, &mut queue, &mut resume_busy, tick)? {}
+            if !config.preemption || !admission.can_preempt() {
+                break;
+            }
+            let Some(urgent) = admission.highest_pending() else { break };
+            // Victim: the least urgent resident fleet-wide; ties prefer the
+            // least progressed (cheapest replay), then the lowest id.
+            let victim = shards
+                .iter()
+                .flat_map(|s| s.residents_overview().into_iter().map(move |v| (s.id, v)))
+                .min_by_key(|(sid, v)| (v.priority, v.frames_done, v.id, *sid));
+            let Some((shard_id, view)) = victim else { break };
+            if view.priority >= urgent {
+                break;
+            }
+            let portable = shards[shard_id].extract(view.index, false);
+            admission.preempt(shard_id, portable.spec.priority);
+            queue.push(QueueEntry { portable, seq: next_seq, was_admitted: true });
+            next_seq += 1;
+        }
 
-        // 3. Batch-step every shard; fan out across threads when asked to.
+        // 3. Rebalance: at most one live migration per tick, from the most
+        //    backlogged shard to the least backlogged one with a free slot,
+        //    and only when the move strictly improves the pair's makespan
+        //    with the replay cost accounted.
+        if config.migration {
+            migrate_one(config, &mut admission, &mut shards, &mut resume_busy)?;
+        }
+
+        // 4. Batch-step every shard; fan out across threads when asked to.
         let results = step_all(&mut shards, config.parallel)?;
 
-        // 4. Fold the results back in shard order (determinism) and account
-        //    the tick at the critical shard's cost.
+        // 5. Fold the results back in shard order (determinism) and account
+        //    the tick at the critical shard's cost, replays included.
         let mut tick_makespan = Micros::ZERO;
         for (shard_id, (completed, busy)) in results.into_iter().enumerate() {
-            tick_makespan = tick_makespan.max(busy);
+            tick_makespan = tick_makespan.max(busy + resume_busy[shard_id]);
             for done in completed {
                 admission.complete(shard_id);
                 sessions.push(session_outcome(done, tick, shard_id));
@@ -257,13 +445,15 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetOutcome, CbError> {
 
     debug_assert!(admission.violations().is_empty(), "{:?}", admission.violations());
     Ok(FleetOutcome {
-        config: *config,
+        config: config.clone(),
         ticks_run: tick,
         elapsed_modeled: elapsed,
         offered: admission.offered,
         admitted: admission.admitted,
         completed: admission.completed,
         rejected: admission.rejected,
+        preempted: admission.preempted,
+        migrated: admission.migrated,
         rejected_with_free_slot: admission.rejected_with_free_slot,
         peak_pending: admission.peak_pending,
         sessions,
@@ -271,15 +461,62 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetOutcome, CbError> {
     })
 }
 
+/// Performs at most one strictly-improving migration: donor = most
+/// backlogged shard, receiver = least backlogged shard with a free slot,
+/// candidate = the donor's least progressed resident (cheapest replay).
+fn migrate_one(
+    config: &FleetConfig,
+    admission: &mut AdmissionState,
+    shards: &mut [Shard],
+    resume_busy: &mut [Micros],
+) -> Result<(), CbError> {
+    let backlog: Vec<Micros> = shards.iter().map(Shard::backlog_cost).collect();
+    let donor = (0..shards.len())
+        .filter(|i| shards[*i].resident_count() > 0)
+        .max_by_key(|i| (backlog[*i], std::cmp::Reverse(*i)));
+    let receiver =
+        (0..shards.len()).filter(|i| shards[*i].free_slots() > 0).min_by_key(|i| (backlog[*i], *i));
+    let (Some(donor), Some(receiver)) = (donor, receiver) else { return Ok(()) };
+    if donor == receiver {
+        return Ok(());
+    }
+    let Some(view) =
+        shards[donor].residents_overview().into_iter().min_by_key(|v| (v.frames_done, v.id))
+    else {
+        return Ok(());
+    };
+    // The donor-local per-frame cost, rescaled to the receiver's machine.
+    let per_frame_receiver = Micros(
+        (view.per_frame.0 as f64 * config.speed_of(donor) / config.speed_of(receiver)).round()
+            as u64,
+    );
+    let replay = Micros(per_frame_receiver.0.saturating_mul(view.frames_done as u64));
+    let remaining = Micros(per_frame_receiver.0.saturating_mul(view.remaining_frames as u64));
+    let receiver_after =
+        Micros(backlog[receiver].0.saturating_add(replay.0).saturating_add(remaining.0));
+    if receiver_after >= backlog[donor] {
+        return Ok(());
+    }
+    let portable = shards[donor].extract(view.index, true);
+    admission.migrate(donor, receiver);
+    shards[receiver].note_migrated_in();
+    let cost = shards[receiver].resume(portable)?;
+    resume_busy[receiver] += cost;
+    Ok(())
+}
+
 fn session_outcome(done: Completed, tick: u64, shard: usize) -> SessionOutcome {
     SessionOutcome {
         id: done.id,
         name: done.name,
         frames: done.frames,
+        priority: done.priority,
         arrived_tick: done.arrived_tick,
         admitted_tick: done.admitted_tick,
         completed_tick: tick,
         shard,
+        preempted: done.preempted,
+        migrated: done.migrated,
         score: done.report.score,
         passed: done.report.passed,
         cost: done.cost,
@@ -308,6 +545,10 @@ mod tests {
         FleetConfig {
             shards,
             shard: ShardConfig { slots: 2, batch_frames: 8, pool_per_shape: 1 },
+            shard_speeds: Vec::new(),
+            placement: PlacementPolicy::SpeedWeighted,
+            preemption: false,
+            migration: false,
             max_pending: 4,
             workload: WorkloadConfig {
                 sessions: 6,
@@ -380,5 +621,129 @@ mod tests {
         assert!(outcome.rejected > 0, "an overwhelmed fleet must shed load");
         assert_eq!(outcome.rejected_with_free_slot, 0);
         assert_eq!(outcome.offered, outcome.completed + outcome.rejected);
+    }
+
+    #[test]
+    fn latency_percentiles_interpolate_like_cod_bench() {
+        let mut outcome = run_fleet(&tiny_config(2, 0xC0D)).unwrap();
+        // Doctor a known latency distribution: 1, 2, 3, 4 ticks.
+        outcome.sessions.truncate(4);
+        for (i, s) in outcome.sessions.iter_mut().enumerate() {
+            s.arrived_tick = 0;
+            s.completed_tick = i as u64; // latency = completed - arrived + 1
+        }
+        assert_eq!(outcome.latency_percentile_ticks(0.0), 1.0);
+        assert_eq!(outcome.latency_percentile_ticks(100.0), 4.0);
+        // p50 over [1, 2, 3, 4]: rank 1.5 -> 2.5, the interpolated median
+        // (`.round()` used to report 3).
+        assert_eq!(outcome.latency_percentile_ticks(50.0), 2.5);
+        outcome.sessions.clear();
+        assert_eq!(outcome.latency_percentile_ticks(50.0), 0.0, "no sessions: percentile is 0");
+    }
+
+    #[test]
+    fn shard_utilization_is_zero_out_of_range() {
+        let outcome = run_fleet(&tiny_config(2, 0xC0D)).unwrap();
+        assert!(outcome.shard_utilization(0) > 0.0);
+        // Regression: this indexed `shard_stats[i]` unchecked and panicked.
+        assert_eq!(outcome.shard_utilization(99), 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_speed_weighted_placement_beats_least_resident() {
+        let mut config = tiny_config(4, 0xC0D);
+        config.shard = ShardConfig { slots: 4, batch_frames: 8, pool_per_shape: 2 };
+        config.max_pending = 16;
+        config.workload.sessions = 16;
+        config.workload.base_frames = 24;
+        config.workload.mean_interarrival_ticks = 1;
+        config.shard_speeds = vec![2.0, 0.5, 0.5, 0.5];
+        config.placement = PlacementPolicy::LeastResident;
+        let naive = run_fleet(&config).unwrap();
+        config.placement = PlacementPolicy::SpeedWeighted;
+        let weighted = run_fleet(&config).unwrap();
+        assert_eq!(naive.completed, weighted.completed);
+        assert!(
+            weighted.sessions_per_sec() > naive.sessions_per_sec(),
+            "speed-weighted {:.2}/s must beat residency-only {:.2}/s on a 1x2.0 + 3x0.5 fleet",
+            weighted.sessions_per_sec(),
+            naive.sessions_per_sec()
+        );
+        // The fast shard must attract the bulk of the work.
+        let fast = weighted.shard_stats[0].sessions_completed;
+        let slow: u64 = weighted.shard_stats[1..].iter().map(|s| s.sessions_completed).sum();
+        assert!(fast >= slow, "fast shard served {fast} vs {slow} across the slow three");
+    }
+
+    #[test]
+    fn preemption_favors_interactive_latency_and_conserves_sessions() {
+        let mut config = tiny_config(1, 1);
+        config.shard.slots = 1;
+        config.shard.batch_frames = 4;
+        config.max_pending = 8;
+        config.workload.sessions = 8;
+        // Paced arrivals: preemption only triggers when a more urgent
+        // session arrives *after* a less urgent one was already placed.
+        config.workload.mean_interarrival_ticks = 1;
+        let fifo = run_fleet(&config).unwrap();
+        config.preemption = true;
+        let preempting = run_fleet(&config).unwrap();
+        assert_eq!(fifo.completed + fifo.rejected, fifo.offered);
+        assert_eq!(preempting.completed + preempting.rejected, preempting.offered);
+        assert!(preempting.preempted > 0, "a saturated single slot must preempt");
+        // Every preemption is re-accounted: placements = completions + preemptions.
+        assert_eq!(preempting.admitted, preempting.completed + preempting.preempted);
+        let sum: u32 = preempting.sessions.iter().map(|s| s.preempted).sum();
+        assert_eq!(u64::from(sum), preempting.preempted);
+        // Interactive latency must not get worse than the FIFO run's.
+        let p95 =
+            |o: &FleetOutcome| o.latency_percentile_ticks_for(Some(Priority::Interactive), 95.0);
+        assert!(
+            p95(&preempting) <= p95(&fifo),
+            "interactive p95 {} vs FIFO {}",
+            p95(&preempting),
+            p95(&fifo)
+        );
+    }
+
+    #[test]
+    fn migration_rebalances_without_changing_session_results() {
+        let mut config = tiny_config(2, 0x517E);
+        config.workload.sessions = 8;
+        config.workload.base_frames = 32;
+        config.workload.mean_interarrival_ticks = 1;
+        config.max_pending = 8;
+        config.shard_speeds = vec![2.0, 0.5];
+        let pinned = run_fleet(&config).unwrap();
+        config.migration = true;
+        let migrating = run_fleet(&config).unwrap();
+        assert!(migrating.migrated > 0, "a 4x speed gap must trigger at least one migration");
+        let sum: u32 = migrating.sessions.iter().map(|s| s.migrated).sum();
+        assert_eq!(u64::from(sum), migrating.migrated);
+        assert_eq!(pinned.completed, migrating.completed);
+        // Physics is placement-independent: same scores either way.
+        for s in &migrating.sessions {
+            let twin = pinned.sessions.iter().find(|p| p.id == s.id).expect("same population");
+            assert_eq!(twin.score, s.score, "migration changed session {}'s score", s.id);
+            assert_eq!(twin.passed, s.passed);
+            assert_eq!(twin.frames, s.frames);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_quick_config_is_deterministic_with_everything_on() {
+        let config = FleetConfig::heterogeneous_quick(7);
+        let mut small = config.clone();
+        small.workload.sessions = 16;
+        small.workload.mean_interarrival_ticks = 0;
+        small.parallel = false;
+        let a = run_fleet(&small).unwrap();
+        let b = run_fleet(&small).unwrap();
+        assert_eq!(a, b);
+        let mut parallel = small.clone();
+        parallel.parallel = true;
+        let c = run_fleet(&parallel).unwrap();
+        assert_eq!(a.sessions, c.sessions);
+        assert_eq!(a.elapsed_modeled, c.elapsed_modeled);
     }
 }

@@ -9,26 +9,33 @@
 //! * [`workload`] — a seeded arrival process over the scenario mix of the
 //!   cod-testkit matrix (operator skill x GPU x display channels x LAN fault
 //!   plan); same seed, same workload.
-//! * [`admission`] — bounded-queue admission control and least-loaded
-//!   placement, kept pure so its safety properties (never exceed capacity,
-//!   never reject while a slot is free, session conservation) are
-//!   property-tested.
-//! * [`shard`] — a worker hosting several concurrent sessions, recycling
-//!   retired simulators through [`crane_sim::CraneSimulator::reset_for_session`]
-//!   so the expensive CB initialization runs once per session *shape*, not
-//!   once per session.
-//! * [`fleet`] — the tick-driven executive: offer, place, batch-step all
-//!   shards (optionally on OS threads), retire; deterministic by
-//!   construction, accounted in modeled time.
+//! * [`admission`] — bounded *priority* queue admission control and
+//!   least-loaded placement, kept pure so its safety properties (never exceed
+//!   capacity, never reject while a slot is free, session conservation with
+//!   preemption and migration terms) are property-tested.
+//! * [`shard`] — a worker of a given relative CPU speed hosting several
+//!   concurrent sessions, recycling retired simulators through
+//!   [`crane_sim::CraneSimulator::reset_for_session`] so the expensive CB
+//!   initialization runs once per session *shape*, not once per session; a
+//!   resident can be serialized to a [`shard::PortableSession`] and resumed
+//!   anywhere by deterministic replay.
+//! * [`fleet`] — the tick-driven executive: offer, place (residency- or
+//!   speed-weighted), preempt, migrate, batch-step all shards (optionally on
+//!   OS threads), retire; deterministic by construction, accounted in modeled
+//!   time.
 //! * [`report`] — `FLEET_cod.json`, byte-identical across runs of the same
 //!   seed.
 //!
 //! ```
-//! use cod_fleet::{run_fleet, FleetConfig, ShardConfig, WorkloadConfig};
+//! use cod_fleet::{run_fleet, FleetConfig, PlacementPolicy, ShardConfig, WorkloadConfig};
 //!
 //! let config = FleetConfig {
 //!     shards: 2,
 //!     shard: ShardConfig { slots: 2, batch_frames: 8, pool_per_shape: 1 },
+//!     shard_speeds: vec![2.0, 0.5], // one fast PC, one slow PC
+//!     placement: PlacementPolicy::SpeedWeighted,
+//!     preemption: true,
+//!     migration: true,
 //!     max_pending: 4,
 //!     workload: WorkloadConfig { sessions: 3, seed: 7, base_frames: 10, mean_interarrival_ticks: 1 },
 //!     parallel: false,
@@ -45,7 +52,7 @@ pub mod shard;
 pub mod workload;
 
 pub use admission::{AdmissionConfig, AdmissionState};
-pub use fleet::{run_fleet, FleetConfig, FleetOutcome, SessionOutcome};
-pub use report::{document, FleetReport, SCHEMA};
-pub use shard::{Completed, SessionShape, Shard, ShardConfig, ShardStats};
-pub use workload::{generate, Arrival, SessionSpec, WorkloadConfig};
+pub use fleet::{run_fleet, FleetConfig, FleetOutcome, PlacementPolicy, SessionOutcome};
+pub use report::{document, FleetReport, ShardRow, SCHEMA};
+pub use shard::{Completed, PortableSession, SessionShape, Shard, ShardConfig, ShardStats};
+pub use workload::{generate, Arrival, Priority, SessionSpec, WorkloadConfig};

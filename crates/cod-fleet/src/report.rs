@@ -4,15 +4,44 @@
 //! [`cod_json`]): ordered members, `u64` quantities that may exceed 2^53
 //! (seeds, fingerprints) as hex strings. Unlike the bench report the fleet
 //! report carries **no wall-clock stamp**: a fleet run is a pure function of
-//! its seed, and the acceptance gate diffs two runs byte for byte.
+//! its seed — priorities, preemption and live migration included — and the
+//! acceptance gate diffs two runs byte for byte.
 
 use cod_json::Json;
 use sim_math::Fnv1a;
 
-use crate::fleet::FleetOutcome;
+use crate::fleet::{FleetOutcome, PlacementPolicy};
+use crate::workload::Priority;
 
 /// Schema version of `FLEET_cod.json`; bump on breaking layout changes.
-pub const SCHEMA: &str = "cod-fleet-v1";
+/// v2: priority classes, preemption/migration counters, heterogeneous shard
+/// speeds, interpolated latency percentiles.
+pub const SCHEMA: &str = "cod-fleet-v2";
+
+/// Per-shard row of the report: speed, utilization and counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardRow {
+    /// Relative CPU speed of the shard.
+    pub speed: f64,
+    /// Fraction of the modeled serving time the shard was busy.
+    pub utilization: f64,
+    /// Sessions the shard retired.
+    pub completed: u64,
+    /// Simulators built from scratch.
+    pub sims_built: u64,
+    /// Sessions served by a recycled simulator.
+    pub sims_recycled: u64,
+    /// Residents preempted off this shard.
+    pub preempted_out: u64,
+    /// Residents migrated off this shard.
+    pub migrated_out: u64,
+    /// Sessions migrated onto this shard.
+    pub migrated_in: u64,
+    /// Frames re-executed to fast-forward resumed sessions.
+    pub replayed_frames: u64,
+    /// Largest residency observed.
+    pub peak_residents: usize,
+}
 
 /// Aggregated, serializable view of one fleet run.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +50,14 @@ pub struct FleetReport {
     pub seed: u64,
     /// Number of shards.
     pub shards: usize,
+    /// Relative CPU speed per shard.
+    pub shard_speeds: Vec<f64>,
+    /// Placement policy the run used.
+    pub placement: PlacementPolicy,
+    /// Whether preemption was enabled.
+    pub preemption: bool,
+    /// Whether live migration was enabled.
+    pub migration: bool,
     /// Concurrent sessions per shard.
     pub slots_per_shard: usize,
     /// Frames per session per fleet tick.
@@ -29,30 +66,45 @@ pub struct FleetReport {
     pub max_pending: usize,
     /// Arrivals offered / admitted / completed / rejected.
     pub offered: u64,
-    /// Sessions placed onto a shard.
+    /// Placements onto a shard (preempted sessions re-count on resumption).
     pub admitted: u64,
     /// Sessions retired.
     pub completed: u64,
     /// Arrivals shed by backpressure.
     pub rejected: u64,
+    /// Residents preempted back to the queue.
+    pub preempted: u64,
+    /// Residents migrated live between shards.
+    pub migrated: u64,
     /// Fleet ticks until drain.
     pub ticks: u64,
     /// Modeled serving time in milliseconds.
     pub elapsed_modeled_ms: f64,
     /// Completed sessions per modeled second.
     pub sessions_per_sec: f64,
-    /// Latency percentiles in fleet ticks (p50, p95, p99).
-    pub latency_ticks: [u64; 3],
+    /// Latency percentiles in fleet ticks (p50, p95, p99), linearly
+    /// interpolated like `cod_bench::measure::percentile`.
+    pub latency_ticks: [f64; 3],
+    /// p95 latency per priority class, indexed by [`Priority::index`].
+    pub class_latency_p95: [f64; Priority::COUNT],
+    /// Completed sessions per priority class, indexed by [`Priority::index`].
+    pub class_completed: [u64; Priority::COUNT],
     /// Mean final score of completed sessions.
     pub mean_score: f64,
     /// Fraction of completed sessions that passed.
     pub pass_rate: f64,
-    /// Per-shard rows: `(utilization, completed, sims_built, sims_recycled,
-    /// peak_residents)`.
-    pub shard_rows: Vec<(f64, u64, u64, u64, usize)>,
+    /// Per-shard rows.
+    pub shard_rows: Vec<ShardRow>,
     /// FNV-1a fingerprint over every session outcome — two runs of the same
     /// seed must agree bit for bit.
     pub fingerprint: u64,
+}
+
+fn placement_name(placement: PlacementPolicy) -> &'static str {
+    match placement {
+        PlacementPolicy::LeastResident => "least-resident",
+        PlacementPolicy::SpeedWeighted => "speed-weighted",
+    }
 }
 
 impl FleetReport {
@@ -65,20 +117,40 @@ impl FleetReport {
             h.write_u64(s.name.len() as u64);
             h.write_bytes(s.name.as_bytes());
             h.write_u64(s.frames as u64);
+            h.write_u64(s.priority.index() as u64);
             h.write_u64(s.arrived_tick);
             h.write_u64(s.admitted_tick);
             h.write_u64(s.completed_tick);
             h.write_u64(s.shard as u64);
+            h.write_u64(u64::from(s.preempted));
+            h.write_u64(u64::from(s.migrated));
             h.write_u64(s.score.to_bits());
             h.write_u64(s.passed as u64);
             h.write_u64(s.cost.0);
         }
         h.write_u64(outcome.rejected);
+        h.write_u64(outcome.preempted);
+        h.write_u64(outcome.migrated);
         h.write_u64(outcome.elapsed_modeled.0);
+
+        let class_latency_p95 = [
+            outcome.latency_percentile_ticks_for(Some(Priority::Batch), 95.0),
+            outcome.latency_percentile_ticks_for(Some(Priority::Training), 95.0),
+            outcome.latency_percentile_ticks_for(Some(Priority::Interactive), 95.0),
+        ];
+        let class_completed = [
+            outcome.completed_of_class(Priority::Batch) as u64,
+            outcome.completed_of_class(Priority::Training) as u64,
+            outcome.completed_of_class(Priority::Interactive) as u64,
+        ];
 
         FleetReport {
             seed: outcome.config.workload.seed,
             shards: outcome.config.shards,
+            shard_speeds: (0..outcome.config.shards).map(|i| outcome.config.speed_of(i)).collect(),
+            placement: outcome.config.placement,
+            preemption: outcome.config.preemption,
+            migration: outcome.config.migration,
             slots_per_shard: outcome.config.shard.slots,
             batch_frames: outcome.config.shard.batch_frames,
             max_pending: outcome.config.max_pending,
@@ -86,6 +158,8 @@ impl FleetReport {
             admitted: outcome.admitted,
             completed: outcome.completed,
             rejected: outcome.rejected,
+            preempted: outcome.preempted,
+            migrated: outcome.migrated,
             ticks: outcome.ticks_run,
             elapsed_modeled_ms: outcome.elapsed_modeled.as_secs_f64() * 1e3,
             sessions_per_sec: outcome.sessions_per_sec(),
@@ -94,18 +168,25 @@ impl FleetReport {
                 outcome.latency_percentile_ticks(95.0),
                 outcome.latency_percentile_ticks(99.0),
             ],
+            class_latency_p95,
+            class_completed,
             mean_score: outcome.mean_score(),
             pass_rate: outcome.pass_rate(),
             shard_rows: (0..outcome.shard_stats.len())
                 .map(|i| {
                     let s = &outcome.shard_stats[i];
-                    (
-                        outcome.shard_utilization(i),
-                        s.sessions_completed,
-                        s.sims_built,
-                        s.sims_recycled,
-                        s.peak_residents,
-                    )
+                    ShardRow {
+                        speed: outcome.config.speed_of(i),
+                        utilization: outcome.shard_utilization(i),
+                        completed: s.sessions_completed,
+                        sims_built: s.sims_built,
+                        sims_recycled: s.sims_recycled,
+                        preempted_out: s.preempted_out,
+                        migrated_out: s.migrated_out,
+                        migrated_in: s.migrated_in,
+                        replayed_frames: s.replayed_frames,
+                        peak_residents: s.peak_residents,
+                    }
                 })
                 .collect(),
             fingerprint: h.finish(),
@@ -114,9 +195,24 @@ impl FleetReport {
 
     /// Serializes to the `FLEET_cod.json` schema (one run's worth).
     pub fn to_json(&self) -> Json {
+        let class_obj = |values: &[f64; Priority::COUNT]| {
+            Json::Obj(
+                Priority::ALL
+                    .iter()
+                    .map(|p| (p.tag().to_owned(), Json::Num(values[p.index()])))
+                    .collect(),
+            )
+        };
         Json::Obj(vec![
             ("seed".into(), Json::Str(format!("{:#x}", self.seed))),
             ("shards".into(), Json::Num(self.shards as f64)),
+            (
+                "shard_speeds".into(),
+                Json::Arr(self.shard_speeds.iter().map(|s| Json::Num(*s)).collect()),
+            ),
+            ("placement".into(), Json::Str(placement_name(self.placement).into())),
+            ("preemption".into(), Json::Bool(self.preemption)),
+            ("migration".into(), Json::Bool(self.migration)),
             ("slots_per_shard".into(), Json::Num(self.slots_per_shard as f64)),
             ("batch_frames".into(), Json::Num(self.batch_frames as f64)),
             ("max_pending".into(), Json::Num(self.max_pending as f64)),
@@ -124,12 +220,26 @@ impl FleetReport {
             ("admitted".into(), Json::Num(self.admitted as f64)),
             ("completed".into(), Json::Num(self.completed as f64)),
             ("rejected".into(), Json::Num(self.rejected as f64)),
+            ("preempted".into(), Json::Num(self.preempted as f64)),
+            ("migrated".into(), Json::Num(self.migrated as f64)),
             ("ticks".into(), Json::Num(self.ticks as f64)),
             ("elapsed_modeled_ms".into(), Json::Num(self.elapsed_modeled_ms)),
             ("sessions_per_sec".into(), Json::Num(self.sessions_per_sec)),
-            ("latency_p50_ticks".into(), Json::Num(self.latency_ticks[0] as f64)),
-            ("latency_p95_ticks".into(), Json::Num(self.latency_ticks[1] as f64)),
-            ("latency_p99_ticks".into(), Json::Num(self.latency_ticks[2] as f64)),
+            ("latency_p50_ticks".into(), Json::Num(self.latency_ticks[0])),
+            ("latency_p95_ticks".into(), Json::Num(self.latency_ticks[1])),
+            ("latency_p99_ticks".into(), Json::Num(self.latency_ticks[2])),
+            ("latency_p95_by_class".into(), class_obj(&self.class_latency_p95)),
+            (
+                "completed_by_class".into(),
+                Json::Obj(
+                    Priority::ALL
+                        .iter()
+                        .map(|p| {
+                            (p.tag().to_owned(), Json::Num(self.class_completed[p.index()] as f64))
+                        })
+                        .collect(),
+                ),
+            ),
             ("mean_score".into(), Json::Num(self.mean_score)),
             ("pass_rate".into(), Json::Num(self.pass_rate)),
             (
@@ -138,14 +248,19 @@ impl FleetReport {
                     self.shard_rows
                         .iter()
                         .enumerate()
-                        .map(|(i, (util, completed, built, recycled, peak))| {
+                        .map(|(i, row)| {
                             Json::Obj(vec![
                                 ("shard".into(), Json::Num(i as f64)),
-                                ("utilization".into(), Json::Num(*util)),
-                                ("completed".into(), Json::Num(*completed as f64)),
-                                ("sims_built".into(), Json::Num(*built as f64)),
-                                ("sims_recycled".into(), Json::Num(*recycled as f64)),
-                                ("peak_residents".into(), Json::Num(*peak as f64)),
+                                ("speed".into(), Json::Num(row.speed)),
+                                ("utilization".into(), Json::Num(row.utilization)),
+                                ("completed".into(), Json::Num(row.completed as f64)),
+                                ("sims_built".into(), Json::Num(row.sims_built as f64)),
+                                ("sims_recycled".into(), Json::Num(row.sims_recycled as f64)),
+                                ("preempted_out".into(), Json::Num(row.preempted_out as f64)),
+                                ("migrated_out".into(), Json::Num(row.migrated_out as f64)),
+                                ("migrated_in".into(), Json::Num(row.migrated_in as f64)),
+                                ("replayed_frames".into(), Json::Num(row.replayed_frames as f64)),
+                                ("peak_residents".into(), Json::Num(row.peak_residents as f64)),
                             ])
                         })
                         .collect(),
@@ -159,16 +274,21 @@ impl FleetReport {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "  {} shards x {} slots | offered {} admitted {} completed {} rejected {}\n",
+            "  {} shards x {} slots ({}, preemption {}, migration {}) | offered {} admitted {} completed {} rejected {} preempted {} migrated {}\n",
             self.shards,
             self.slots_per_shard,
+            placement_name(self.placement),
+            if self.preemption { "on" } else { "off" },
+            if self.migration { "on" } else { "off" },
             self.offered,
             self.admitted,
             self.completed,
             self.rejected,
+            self.preempted,
+            self.migrated,
         ));
         out.push_str(&format!(
-            "  modeled serving time {:.1} ms | {:.2} sessions/s | latency p50/p95/p99 = {}/{}/{} ticks\n",
+            "  modeled serving time {:.1} ms | {:.2} sessions/s | latency p50/p95/p99 = {:.1}/{:.1}/{:.1} ticks\n",
             self.elapsed_modeled_ms,
             self.sessions_per_sec,
             self.latency_ticks[0],
@@ -176,37 +296,76 @@ impl FleetReport {
             self.latency_ticks[2],
         ));
         out.push_str(&format!(
+            "  p95 by class: int {:.1} / trn {:.1} / bat {:.1} ticks (completed {}/{}/{})\n",
+            self.class_latency_p95[Priority::Interactive.index()],
+            self.class_latency_p95[Priority::Training.index()],
+            self.class_latency_p95[Priority::Batch.index()],
+            self.class_completed[Priority::Interactive.index()],
+            self.class_completed[Priority::Training.index()],
+            self.class_completed[Priority::Batch.index()],
+        ));
+        out.push_str(&format!(
             "  mean score {:.1} | pass rate {:.0}% | fingerprint {:016x}\n",
             self.mean_score,
             self.pass_rate * 100.0,
             self.fingerprint
         ));
-        out.push_str("  shard | util % | done | built | recycled | peak\n");
-        for (i, (util, completed, built, recycled, peak)) in self.shard_rows.iter().enumerate() {
+        out.push_str(
+            "  shard | speed | util % | done | built | recycled | pre> | mig> | >mig | peak\n",
+        );
+        for (i, row) in self.shard_rows.iter().enumerate() {
             out.push_str(&format!(
-                "  {i:>5} | {:>6.1} | {completed:>4} | {built:>5} | {recycled:>8} | {peak:>4}\n",
-                util * 100.0
+                "  {i:>5} | {:>5.2} | {:>6.1} | {:>4} | {:>5} | {:>8} | {:>4} | {:>4} | {:>4} | {:>4}\n",
+                row.speed,
+                row.utilization * 100.0,
+                row.completed,
+                row.sims_built,
+                row.sims_recycled,
+                row.preempted_out,
+                row.migrated_out,
+                row.migrated_in,
+                row.peak_residents
             ));
         }
         out
     }
 }
 
-/// The whole `FLEET_cod.json` document: the headline run plus the one-shard
-/// baseline it is gated against.
-pub fn document(baseline: &FleetReport, fleet: &FleetReport, quick: bool) -> Json {
-    let scaling = if baseline.sessions_per_sec > 0.0 {
-        fleet.sessions_per_sec / baseline.sessions_per_sec
-    } else {
-        0.0
+/// The whole `FLEET_cod.json` document: the headline run, the one-shard
+/// baseline it is gated against, and (when provided) the heterogeneous pair —
+/// residency-only vs speed-weighted placement on the 1×fast + 3×slow fleet —
+/// behind the E10 gate.
+pub fn document(
+    baseline: &FleetReport,
+    fleet: &FleetReport,
+    hetero: Option<(&FleetReport, &FleetReport)>,
+    quick: bool,
+) -> Json {
+    let ratio = |num: &FleetReport, den: &FleetReport| {
+        if den.sessions_per_sec > 0.0 {
+            num.sessions_per_sec / den.sessions_per_sec
+        } else {
+            0.0
+        }
     };
-    Json::Obj(vec![
+    let mut members = vec![
         ("schema".into(), Json::Str(SCHEMA.into())),
         ("quick".into(), Json::Bool(quick)),
-        ("scaling_sessions_per_sec".into(), Json::Num(scaling)),
+        ("scaling_sessions_per_sec".into(), Json::Num(ratio(fleet, baseline))),
         ("baseline_1_shard".into(), baseline.to_json()),
         ("fleet".into(), fleet.to_json()),
-    ])
+    ];
+    if let Some((residency, weighted)) = hetero {
+        members.push((
+            "hetero".into(),
+            Json::Obj(vec![
+                ("speedup_speed_weighted".into(), Json::Num(ratio(weighted, residency))),
+                ("least_resident".into(), residency.to_json()),
+                ("speed_weighted".into(), weighted.to_json()),
+            ]),
+        ));
+    }
+    Json::Obj(members)
 }
 
 #[cfg(test)]
@@ -220,6 +379,10 @@ mod tests {
         run_fleet(&FleetConfig {
             shards: 2,
             shard: ShardConfig { slots: 2, batch_frames: 8, pool_per_shape: 1 },
+            shard_speeds: Vec::new(),
+            placement: PlacementPolicy::SpeedWeighted,
+            preemption: false,
+            migration: false,
             max_pending: 4,
             workload: WorkloadConfig {
                 sessions: 4,
@@ -235,17 +398,32 @@ mod tests {
     #[test]
     fn report_serializes_and_round_trips_through_the_shared_parser() {
         let report = FleetReport::from_outcome(&outcome());
-        let doc = document(&report, &report, true);
+        let doc = document(&report, &report, None, true);
         let text = doc.to_pretty();
         let parsed = Json::parse(&text).expect("valid JSON");
         assert_eq!(parsed.get("schema").and_then(Json::as_str), Some(SCHEMA));
         assert_eq!(parsed.get("scaling_sessions_per_sec").and_then(Json::as_f64), Some(1.0));
+        assert!(parsed.get("hetero").is_none(), "no hetero section unless provided");
         let fleet = parsed.get("fleet").unwrap();
         assert_eq!(fleet.get("offered").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(fleet.get("placement").and_then(Json::as_str), Some("speed-weighted"));
+        assert_eq!(fleet.get("preempted").and_then(Json::as_f64), Some(0.0));
+        assert!(fleet.get("latency_p95_by_class").and_then(|c| c.get("int")).is_some());
         assert!(fleet.get("fingerprint").and_then(Json::as_str).is_some());
         // Hex seed survives even above 2^53.
         let seed = fleet.get("seed").and_then(Json::as_str).unwrap();
         assert_eq!(u64::from_str_radix(seed.trim_start_matches("0x"), 16).unwrap(), 5);
+    }
+
+    #[test]
+    fn hetero_section_carries_both_policies() {
+        let report = FleetReport::from_outcome(&outcome());
+        let doc = document(&report, &report, Some((&report, &report)), true);
+        let parsed = Json::parse(&doc.to_pretty()).expect("valid JSON");
+        let hetero = parsed.get("hetero").expect("hetero section present");
+        assert_eq!(hetero.get("speedup_speed_weighted").and_then(Json::as_f64), Some(1.0));
+        assert!(hetero.get("least_resident").is_some());
+        assert!(hetero.get("speed_weighted").is_some());
     }
 
     #[test]
@@ -262,5 +440,7 @@ mod tests {
         let table = report.render_table();
         assert!(table.contains("sessions/s"));
         assert!(table.contains("pass rate"));
+        assert!(table.contains("p95 by class"));
+        assert!(table.contains("speed"));
     }
 }

@@ -7,6 +7,15 @@
 //! away: it files the rack under its [`SessionShape`] and the next session of
 //! the same shape gets it back through
 //! [`CraneSimulator::reset_for_session`], skipping initialization entirely.
+//!
+//! Shards are *heterogeneous*: each carries a relative CPU speed (1.0 = the
+//! paper's reference desktop PC) threaded into every simulator it builds via
+//! [`SimulatorConfig::cpu_speed`] → `Cluster::add_computer_with_speed`, so a
+//! half-speed shard charges twice the modeled cost per frame. A resident
+//! session can also be *extracted* — serialized to its spec, seed and frame
+//! count — and resumed on another shard (or later on the same one) by
+//! deterministic replay; that is the substrate of both preemption and live
+//! migration.
 
 use std::collections::BTreeMap;
 
@@ -14,7 +23,7 @@ use cod_cb::CbError;
 use cod_net::Micros;
 use crane_sim::{CraneSimulator, SessionReport, SimulatorConfig};
 
-use crate::workload::SessionSpec;
+use crate::workload::{Priority, SessionSpec};
 
 /// Sizing and pacing of one shard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,7 +44,9 @@ impl Default for ShardConfig {
 
 /// The structural part of a [`SimulatorConfig`] — everything that decides
 /// whether a built rack can be recycled for another session. The session seed
-/// and frame budget are per-session and excluded.
+/// and frame budget are per-session and excluded. The shard's CPU speed is
+/// excluded too: pools are per-shard and a shard stamps its own speed onto
+/// every configuration it builds, so every rack in one pool shares it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct SessionShape {
     operator: u8,
@@ -71,6 +82,49 @@ struct Resident {
     frames_done: usize,
     arrived_tick: u64,
     admitted_tick: u64,
+    preempted: u32,
+    migrated: u32,
+}
+
+/// A resident session serialized for transport: everything needed to resume
+/// it deterministically on any shard — the spec (carrying the session and
+/// fault seeds) plus the number of frames already executed. The receiving
+/// shard replays those frames through [`CraneSimulator::reset_for_session`] +
+/// fast-forward; replay is bit-exact, so the resumed session is
+/// indistinguishable from one that ran on the target shard all along.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortableSession {
+    /// The session's spec (seed, fault plan, frame budget, priority).
+    pub spec: SessionSpec,
+    /// Frames already executed before extraction.
+    pub frames_done: usize,
+    /// Fleet tick the session arrived at.
+    pub arrived_tick: u64,
+    /// Fleet tick the session was *first* placed at.
+    pub admitted_tick: u64,
+    /// Times the session has been preempted so far.
+    pub preempted: u32,
+    /// Times the session has been migrated so far.
+    pub migrated: u32,
+}
+
+/// A cheap view of one resident the fleet driver uses to pick preemption
+/// victims and migration candidates without touching the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResidentView {
+    /// Index into the shard's resident list (valid until the next mutation).
+    pub index: usize,
+    /// The session's id.
+    pub id: u64,
+    /// The session's priority class.
+    pub priority: Priority,
+    /// Frames already executed.
+    pub frames_done: usize,
+    /// Frames still to run.
+    pub remaining_frames: usize,
+    /// Modeled cost of one frame on *this* shard (measured hint, or the
+    /// speed-scaled nominal cost before any frame has run).
+    pub per_frame: Micros,
 }
 
 /// A session the shard has just retired.
@@ -82,10 +136,16 @@ pub struct Completed {
     pub name: String,
     /// Frames the session ran.
     pub frames: usize,
+    /// The session's priority class.
+    pub priority: Priority,
     /// Fleet tick the session arrived at.
     pub arrived_tick: u64,
-    /// Fleet tick the session was placed at.
+    /// Fleet tick the session was first placed at.
     pub admitted_tick: u64,
+    /// Times the session was preempted back to the queue.
+    pub preempted: u32,
+    /// Times the session was migrated between shards.
+    pub migrated: u32,
     /// The session's final report.
     pub report: SessionReport,
     /// Total modeled cost the session charged this shard.
@@ -105,6 +165,14 @@ pub struct ShardStats {
     pub sims_built: u64,
     /// Sessions served by a recycled simulator.
     pub sims_recycled: u64,
+    /// Residents extracted for preemption.
+    pub preempted_out: u64,
+    /// Residents extracted for migration to another shard.
+    pub migrated_out: u64,
+    /// Sessions resumed here after a migration.
+    pub migrated_in: u64,
+    /// Frames re-executed to fast-forward resumed sessions.
+    pub replayed_frames: u64,
     /// Largest residency observed.
     pub peak_residents: usize,
 }
@@ -114,6 +182,8 @@ pub struct Shard {
     /// Shard index within the fleet.
     pub id: usize,
     config: ShardConfig,
+    /// Relative CPU speed of this shard's machine (1.0 = reference PC).
+    speed: f64,
     residents: Vec<Resident>,
     pool: BTreeMap<SessionShape, Vec<CraneSimulator>>,
     /// Accumulated counters.
@@ -121,15 +191,26 @@ pub struct Shard {
 }
 
 impl Shard {
-    /// Creates an empty shard.
-    pub fn new(id: usize, config: ShardConfig) -> Shard {
+    /// Creates an empty shard of relative CPU speed `speed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed` is not positive.
+    pub fn new(id: usize, config: ShardConfig, speed: f64) -> Shard {
+        assert!(speed > 0.0, "shard speed must be positive");
         Shard {
             id,
             config,
+            speed,
             residents: Vec::new(),
             pool: BTreeMap::new(),
             stats: ShardStats::default(),
         }
+    }
+
+    /// The shard's relative CPU speed.
+    pub fn speed(&self) -> f64 {
+        self.speed
     }
 
     /// Number of resident sessions.
@@ -142,21 +223,103 @@ impl Shard {
         self.config.slots - self.residents.len()
     }
 
-    /// Modeled cost of finishing every resident session — the placement hint
-    /// the fleet weighs shards by. Sessions that have not yet run a frame are
-    /// estimated at the nominal whole-rack frame cost.
+    /// Whole-cluster sequential frame cost of the standard rack on the
+    /// reference PC before a measurement exists (three 60 ms displays plus
+    /// the other modules), scaled to this shard's speed.
+    fn nominal_frame_cost(&self) -> Micros {
+        const NOMINAL_REFERENCE_COST: Micros = Micros(204_000);
+        Micros((NOMINAL_REFERENCE_COST.0 as f64 / self.speed).round() as u64)
+    }
+
+    fn per_frame_cost(&self, r: &Resident) -> Micros {
+        let hint = r.sim.session_cost_hint();
+        if hint == Micros::ZERO {
+            self.nominal_frame_cost()
+        } else {
+            hint
+        }
+    }
+
+    /// Modeled cost of finishing every resident session — the hint the
+    /// fleet's *migration* policy balances shards by. Sessions that have not
+    /// yet run a frame are estimated at the nominal whole-rack frame cost
+    /// scaled to this shard's speed, so a slow shard advertises a
+    /// proportionally larger backlog. Saturating arithmetic: a pathologically
+    /// long session pins the hint at `u64::MAX` instead of wrapping it around
+    /// to a tiny value.
     pub fn backlog_cost(&self) -> Micros {
-        /// Whole-cluster sequential frame cost of the standard rack before a
-        /// measurement exists (three 60 ms displays plus the other modules).
-        const NOMINAL_FRAME_COST: Micros = Micros(204_000);
         let mut total = Micros::ZERO;
         for r in &self.residents {
-            let hint = r.sim.session_cost_hint();
-            let per_frame = if hint == Micros::ZERO { NOMINAL_FRAME_COST } else { hint };
+            let per_frame = self.per_frame_cost(r);
             let remaining = r.spec.frames.saturating_sub(r.frames_done) as u64;
-            total += Micros(per_frame.0 * remaining);
+            total = Micros(total.0.saturating_add(per_frame.0.saturating_mul(remaining)));
         }
         total
+    }
+
+    /// Modeled cost of this shard's *next* batch tick. Serving time is the
+    /// sum over ticks of the busiest shard's cost, so the per-tick rate (not
+    /// the total remaining backlog) is what governs the makespan: one
+    /// session costs a half-speed shard four times what it costs a
+    /// double-speed shard every tick.
+    pub fn next_tick_cost(&self) -> Micros {
+        let mut total = Micros::ZERO;
+        for r in &self.residents {
+            let per_frame = self.per_frame_cost(r);
+            let frames =
+                self.config.batch_frames.min(r.spec.frames.saturating_sub(r.frames_done)) as u64;
+            total = Micros(total.0.saturating_add(per_frame.0.saturating_mul(frames)));
+        }
+        total
+    }
+
+    /// The hint the fleet's speed-weighted *placement* policy weighs shards
+    /// by: the per-tick rate this shard would run at **if it also took the
+    /// arriving session** — its current [`Shard::next_tick_cost`] plus the
+    /// nominal batch cost of one more session on this machine (the same
+    /// resulting-load greedy as [`cod_cluster::balance_load_weighted`]).
+    /// Minimizing the current rate alone would always prefer an idle slow
+    /// shard over a busy fast one, even when the fast shard could absorb the
+    /// session at a quarter of the cost.
+    pub fn placement_cost(&self) -> Micros {
+        let marginal = self.nominal_frame_cost().0.saturating_mul(self.config.batch_frames as u64);
+        Micros(self.next_tick_cost().0.saturating_add(marginal))
+    }
+
+    /// Cheap per-resident views (id, priority, progress, per-frame cost) for
+    /// the fleet's preemption and migration policies.
+    pub fn residents_overview(&self) -> Vec<ResidentView> {
+        self.residents
+            .iter()
+            .enumerate()
+            .map(|(index, r)| ResidentView {
+                index,
+                id: r.spec.id,
+                priority: r.spec.priority,
+                frames_done: r.frames_done,
+                remaining_frames: r.spec.frames.saturating_sub(r.frames_done),
+                per_frame: self.per_frame_cost(r),
+            })
+            .collect()
+    }
+
+    /// Builds or recycles a simulator for `spec`, with this shard's CPU speed
+    /// stamped into the configuration.
+    fn obtain_sim(&mut self, spec: &SessionSpec) -> Result<CraneSimulator, CbError> {
+        let shape = SessionShape::of(&spec.config);
+        let mut sim = match self.pool.get_mut(&shape).and_then(Vec::pop) {
+            Some(mut sim) => {
+                sim.reset_for_session(spec.config.seed)?;
+                self.stats.sims_recycled += 1;
+                sim
+            }
+            None => {
+                self.stats.sims_built += 1;
+                CraneSimulator::new(spec.config)?
+            }
+        };
+        sim.set_fault_plan(spec.fault_plan.clone());
+        Ok(sim)
     }
 
     /// Admits a session: recycles a pooled simulator of the same shape when
@@ -176,23 +339,102 @@ impl Shard {
         arrived_tick: u64,
         admitted_tick: u64,
     ) -> Result<(), CbError> {
-        assert!(self.free_slots() > 0, "shard {} is full", self.id);
-        let shape = SessionShape::of(&spec.config);
-        let mut sim = match self.pool.get_mut(&shape).and_then(Vec::pop) {
-            Some(mut sim) => {
-                sim.reset_for_session(spec.config.seed)?;
-                self.stats.sims_recycled += 1;
-                sim
-            }
-            None => {
-                self.stats.sims_built += 1;
-                CraneSimulator::new(spec.config)?
-            }
+        let portable = PortableSession {
+            spec,
+            frames_done: 0,
+            arrived_tick,
+            admitted_tick,
+            preempted: 0,
+            migrated: 0,
         };
-        sim.set_fault_plan(spec.fault_plan.clone());
-        self.residents.push(Resident { spec, sim, frames_done: 0, arrived_tick, admitted_tick });
+        self.resume(portable).map(|_| ())
+    }
+
+    /// Admits a [`PortableSession`], fast-forwarding it to where it left off:
+    /// the simulator is reset to the session seed and the already-executed
+    /// frames are replayed (replay is deterministic, so the resumed session
+    /// is bit-identical to one never interrupted). Returns the modeled cost
+    /// of the replay, charged to this shard's busy time.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the simulator fails to build, reset or replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard has no free slot.
+    pub fn resume(&mut self, portable: PortableSession) -> Result<Micros, CbError> {
+        assert!(self.free_slots() > 0, "shard {} is full", self.id);
+        let PortableSession {
+            mut spec,
+            frames_done,
+            arrived_tick,
+            admitted_tick,
+            preempted,
+            migrated,
+        } = portable;
+        // The shard's machine speed is a property of the shard, not the
+        // session: stamp it before the shape lookup so pooled racks match.
+        spec.config.cpu_speed = self.speed;
+        let mut sim = self.obtain_sim(&spec)?;
+        let mut replay_cost = Micros::ZERO;
+        for _ in 0..frames_done {
+            let record = sim.step_frame()?;
+            for (_, cost) in &record.costs {
+                replay_cost += *cost;
+            }
+        }
+        self.stats.replayed_frames += frames_done as u64;
+        self.stats.busy += replay_cost;
+        self.residents.push(Resident {
+            spec,
+            sim,
+            frames_done,
+            arrived_tick,
+            admitted_tick,
+            preempted,
+            migrated,
+        });
         self.stats.peak_residents = self.stats.peak_residents.max(self.residents.len());
-        Ok(())
+        Ok(replay_cost)
+    }
+
+    /// Extracts the resident at `index` as a [`PortableSession`], returning
+    /// its simulator to the recycling pool. `migration` selects which
+    /// counters the move charges (migrated vs preempted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn extract(&mut self, index: usize, migration: bool) -> PortableSession {
+        let mut r = self.residents.remove(index);
+        if migration {
+            r.migrated += 1;
+            self.stats.migrated_out += 1;
+        } else {
+            r.preempted += 1;
+            self.stats.preempted_out += 1;
+        }
+        let shape = SessionShape::of(&r.spec.config);
+        let pool = self.pool.entry(shape).or_default();
+        if pool.len() < self.config.pool_per_shape {
+            pool.push(r.sim);
+        }
+        PortableSession {
+            spec: r.spec,
+            frames_done: r.frames_done,
+            arrived_tick: r.arrived_tick,
+            admitted_tick: r.admitted_tick,
+            preempted: r.preempted,
+            migrated: r.migrated,
+        }
+    }
+
+    /// Books a migrated-in session (the paired accounting of
+    /// [`Shard::extract`] on the donor side); called by the fleet driver
+    /// right before [`Shard::resume`] on the receiving shard.
+    pub fn note_migrated_in(&mut self) {
+        self.stats.migrated_in += 1;
     }
 
     /// Advances every resident session by up to one batch of frames, retiring
@@ -242,8 +484,11 @@ impl Shard {
             id: r.spec.id,
             name: r.spec.name,
             frames: r.spec.frames,
+            priority: r.spec.priority,
             arrived_tick: r.arrived_tick,
             admitted_tick: r.admitted_tick,
+            preempted: r.preempted,
+            migrated: r.migrated,
             report,
             cost,
         }
@@ -271,7 +516,8 @@ mod tests {
 
     #[test]
     fn shard_runs_a_session_to_completion() {
-        let mut shard = Shard::new(0, ShardConfig { slots: 2, batch_frames: 4, pool_per_shape: 1 });
+        let mut shard =
+            Shard::new(0, ShardConfig { slots: 2, batch_frames: 4, pool_per_shape: 1 }, 1.0);
         shard.admit(tiny_spec(0, 5, 10), 0, 0).unwrap();
         assert_eq!(shard.resident_count(), 1);
         assert!(shard.backlog_cost() > Micros::ZERO);
@@ -290,7 +536,8 @@ mod tests {
 
     #[test]
     fn same_shape_sessions_recycle_the_simulator() {
-        let mut shard = Shard::new(0, ShardConfig { slots: 1, batch_frames: 8, pool_per_shape: 1 });
+        let mut shard =
+            Shard::new(0, ShardConfig { slots: 1, batch_frames: 8, pool_per_shape: 1 }, 1.0);
         let first = tiny_spec(0, 5, 8);
         let mut second = tiny_spec(1, 5, 8);
         // Same shape (same generated mix from the same seed), fresh seed.
@@ -308,14 +555,14 @@ mod tests {
     fn recycled_session_reports_match_fresh_ones() {
         let spec = tiny_spec(0, 11, 12);
         // Fresh run.
-        let mut fresh = Shard::new(0, ShardConfig::default());
+        let mut fresh = Shard::new(0, ShardConfig::default(), 1.0);
         fresh.admit(spec.clone(), 0, 0).unwrap();
         let mut fresh_done = Vec::new();
         while fresh.resident_count() > 0 {
             fresh_done.extend(fresh.step_batch().unwrap().0);
         }
         // A different session first, then the same spec on the recycled rack.
-        let mut warm = Shard::new(0, ShardConfig::default());
+        let mut warm = Shard::new(0, ShardConfig::default(), 1.0);
         let mut warmup = spec.clone();
         warmup.id = 99;
         warmup.config.seed ^= 0x77;
@@ -341,9 +588,103 @@ mod tests {
         let mut b = a.clone();
         b.config.seed ^= 1;
         b.config.exam_frames = 99;
+        b.config.cpu_speed = 2.0;
         assert_eq!(SessionShape::of(&a.config), SessionShape::of(&b.config));
         let mut c = a.clone();
         c.config.display_channels += 1;
         assert_ne!(SessionShape::of(&a.config), SessionShape::of(&c.config));
+    }
+
+    #[test]
+    fn backlog_cost_saturates_instead_of_wrapping() {
+        // Regression: `Micros(per_frame.0 * remaining)` wrapped for a long
+        // session spec, turning an overloaded shard into the *most*
+        // attractive placement target.
+        let mut shard = Shard::new(0, ShardConfig::default(), 1.0);
+        let mut spec = tiny_spec(0, 5, 4);
+        spec.frames = usize::MAX / 2;
+        shard.admit(spec, 0, 0).unwrap();
+        assert_eq!(
+            shard.backlog_cost(),
+            Micros(u64::MAX),
+            "a huge frame budget must pin the hint at the ceiling, not wrap"
+        );
+    }
+
+    #[test]
+    fn slow_shards_advertise_proportionally_larger_backlogs() {
+        let spec = tiny_spec(0, 5, 10);
+        let mut reference = Shard::new(0, ShardConfig::default(), 1.0);
+        let mut slow = Shard::new(1, ShardConfig::default(), 0.5);
+        reference.admit(spec.clone(), 0, 0).unwrap();
+        slow.admit(spec, 0, 0).unwrap();
+        // Before any frame runs the nominal estimate is speed-scaled...
+        assert_eq!(slow.backlog_cost().0, reference.backlog_cost().0 * 2);
+        // ...and after a batch the measured hints keep the same relation.
+        reference.step_batch().unwrap();
+        slow.step_batch().unwrap();
+        assert!(slow.backlog_cost() > reference.backlog_cost());
+    }
+
+    #[test]
+    fn extracted_session_resumes_bit_exactly_on_another_shard() {
+        let spec = tiny_spec(0, 13, 16);
+        // Uninterrupted baseline.
+        let mut baseline = Shard::new(0, ShardConfig::default(), 1.0);
+        baseline.admit(spec.clone(), 0, 0).unwrap();
+        let mut base_done = Vec::new();
+        while baseline.resident_count() > 0 {
+            base_done.extend(baseline.step_batch().unwrap().0);
+        }
+        // Same session, interrupted after one batch and migrated.
+        let mut donor = Shard::new(1, ShardConfig::default(), 1.0);
+        let mut receiver = Shard::new(2, ShardConfig::default(), 1.0);
+        donor.admit(spec, 0, 0).unwrap();
+        donor.step_batch().unwrap();
+        let portable = donor.extract(0, true);
+        assert_eq!(portable.frames_done, 8);
+        assert_eq!(portable.migrated, 1);
+        receiver.note_migrated_in();
+        let replay = receiver.resume(portable).unwrap();
+        assert!(replay > Micros::ZERO, "fast-forward must charge modeled time");
+        let mut moved_done = Vec::new();
+        while receiver.resident_count() > 0 {
+            moved_done.extend(receiver.step_batch().unwrap().0);
+        }
+        assert_eq!(donor.stats.migrated_out, 1);
+        assert_eq!(receiver.stats.migrated_in, 1);
+        assert_eq!(receiver.stats.replayed_frames, 8);
+        assert_eq!(
+            base_done[0].report, moved_done[0].report,
+            "a migrated session must replay the original bit for bit"
+        );
+        assert_eq!(moved_done[0].migrated, 1);
+    }
+
+    #[test]
+    fn resume_on_a_different_speed_preserves_physics() {
+        let spec = tiny_spec(0, 17, 16);
+        let mut baseline = Shard::new(0, ShardConfig::default(), 1.0);
+        baseline.admit(spec.clone(), 0, 0).unwrap();
+        let mut base_done = Vec::new();
+        while baseline.resident_count() > 0 {
+            base_done.extend(baseline.step_batch().unwrap().0);
+        }
+        let mut donor = Shard::new(1, ShardConfig::default(), 0.5);
+        let mut fast = Shard::new(2, ShardConfig::default(), 2.0);
+        donor.admit(spec, 0, 0).unwrap();
+        donor.step_batch().unwrap();
+        let portable = donor.extract(0, true);
+        fast.resume(portable).unwrap();
+        let mut moved_done = Vec::new();
+        while fast.resident_count() > 0 {
+            moved_done.extend(fast.step_batch().unwrap().0);
+        }
+        // Scores, pass/fail and frame counts are speed-independent; only the
+        // modeled cost changes with the machine.
+        assert_eq!(base_done[0].report.score, moved_done[0].report.score);
+        assert_eq!(base_done[0].report.passed, moved_done[0].report.passed);
+        assert_eq!(base_done[0].report.frames_run, moved_done[0].report.frames_run);
+        assert!(moved_done[0].cost < base_done[0].cost);
     }
 }

@@ -13,12 +13,49 @@ use crane_sim::{GpuGeneration, OperatorKind, SimulatorConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Priority class of a session. Ordering is by urgency: `Interactive` >
+/// `Training` > `Batch`. Interactive sessions (a trainee at the controls,
+/// motivated by the VR crane-planning line of work) jump the admission queue
+/// and may preempt batch work; batch sessions (offline sweeps, regression
+/// replays) absorb whatever capacity is left.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Offline work: regression sweeps, replays. Lowest urgency.
+    Batch,
+    /// Curriculum training runs: latency matters, but nobody is waiting live.
+    Training,
+    /// A person at the controls. Highest urgency, preempts `Batch`.
+    Interactive,
+}
+
+impl Priority {
+    /// Every class, lowest urgency first (so `ALL[p.index()] == p`).
+    pub const ALL: [Priority; 3] = [Priority::Batch, Priority::Training, Priority::Interactive];
+
+    /// Number of priority classes.
+    pub const COUNT: usize = 3;
+
+    /// Dense index of the class: `Batch` = 0, `Training` = 1, `Interactive` = 2.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Three-letter tag used in session names and report rows.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Priority::Batch => "bat",
+            Priority::Training => "trn",
+            Priority::Interactive => "int",
+        }
+    }
+}
+
 /// A complete description of one session offered to the fleet.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SessionSpec {
     /// Fleet-wide session id (arrival order).
     pub id: u64,
-    /// Descriptive name, `s<id>-<operator>-<gpu>-c<channels>-<plan>`.
+    /// Descriptive name, `s<id>-<priority>-<operator>-<gpu>-<channels>-<plan>`.
     pub name: String,
     /// Simulator configuration (carries the session seed).
     pub config: SimulatorConfig,
@@ -26,6 +63,8 @@ pub struct SessionSpec {
     pub fault_plan: FaultPlan,
     /// Number of executive frames the session runs.
     pub frames: usize,
+    /// Priority class governing admission order and preemption.
+    pub priority: Priority,
 }
 
 /// Configuration of the workload generator.
@@ -102,6 +141,7 @@ pub fn generate(config: &WorkloadConfig) -> Vec<Arrival> {
         let operator = OPERATORS[rng.gen_range(0..OPERATORS.len())];
         let gpu = GPUS[rng.gen_range(0..GPUS.len())];
         let channels = CHANNELS[rng.gen_range(0..CHANNELS.len())];
+        let priority = Priority::ALL[rng.gen_range(0..Priority::COUNT)];
         let session_seed = mix_seed(config.seed, id * 2 + 1);
         let fault_seed = mix_seed(config.seed, id * 2 + 2);
         let named_plans = plans::all(fault_seed);
@@ -119,14 +159,22 @@ pub fn generate(config: &WorkloadConfig) -> Vec<Arrival> {
             ..SimulatorConfig::default()
         };
         let name = format!(
-            "s{id:03}-{}-{}-c{channels}-{}",
+            "s{id:03}-{}-{}-{}-c{channels}-{}",
+            priority.tag(),
             operator_name(operator),
             gpu_name(gpu),
             plan.name
         );
         arrivals.push(Arrival {
             tick,
-            spec: SessionSpec { id, name, config: sim_config, fault_plan: plan.plan, frames },
+            spec: SessionSpec {
+                id,
+                name,
+                config: sim_config,
+                fault_plan: plan.plan,
+                frames,
+                priority,
+            },
         });
         tick += rng.gen_range(0..=config.mean_interarrival_ticks * 2);
     }
@@ -169,6 +217,26 @@ mod tests {
         }
         assert_eq!(operators.len(), 3, "all operator kinds should appear in 64 draws");
         assert!(plans_seen.len() >= 4, "fault-plan variety missing: {plans_seen:?}");
+    }
+
+    #[test]
+    fn priorities_cover_every_class_and_order_by_urgency() {
+        assert!(Priority::Interactive > Priority::Training);
+        assert!(Priority::Training > Priority::Batch);
+        for p in Priority::ALL {
+            assert_eq!(Priority::ALL[p.index()], p);
+        }
+        let arrivals = generate(&WorkloadConfig::quick(3));
+        let mut classes = std::collections::BTreeSet::new();
+        for a in &arrivals {
+            assert!(
+                a.spec.name.contains(a.spec.priority.tag()),
+                "name {} missing priority tag",
+                a.spec.name
+            );
+            classes.insert(a.spec.priority);
+        }
+        assert_eq!(classes.len(), Priority::COUNT, "all classes should appear in 64 draws");
     }
 
     #[test]

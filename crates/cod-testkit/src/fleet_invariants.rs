@@ -1,6 +1,7 @@
 //! Fleet-level invariant checkers, mirroring the per-frame battery of
 //! [`crate::invariants`] one level up: whatever the workload does, the
-//! serving layer must conserve sessions, respect shard capacity, starve
+//! serving layer must conserve sessions (preemptions and migrations
+//! re-accounted), respect shard capacity, respect priority order, starve
 //! nobody, and replay bit-exactly from its seed.
 
 use cod_cb::CbError;
@@ -13,7 +14,9 @@ pub fn check_fleet_outcome(outcome: &FleetOutcome) -> Vec<String> {
 
     // Conservation: after drain no session may be pending or resident, so
     // every offered arrival is either completed or rejected, and the
-    // completion list matches the ledger.
+    // completion list matches the ledger. Preempted sessions were re-placed
+    // and re-counted in `admitted`, so the placement ledger closes as
+    // admitted = completed + preempted.
     if outcome.offered != outcome.completed + outcome.rejected {
         violations.push(format!(
             "conservation: offered {} != completed {} + rejected {}",
@@ -27,10 +30,41 @@ pub fn check_fleet_outcome(outcome: &FleetOutcome) -> Vec<String> {
             outcome.completed
         ));
     }
-    if outcome.admitted != outcome.completed {
+    if outcome.admitted != outcome.completed + outcome.preempted {
         violations.push(format!(
-            "drain: admitted {} != completed {} (a session is still resident)",
-            outcome.admitted, outcome.completed
+            "drain: admitted {} != completed {} + preempted {} (a session is still resident)",
+            outcome.admitted, outcome.completed, outcome.preempted
+        ));
+    }
+    // Preemption/migration conservation: the fleet totals must equal the
+    // per-session counters, both ways of counting the same events.
+    let session_preemptions: u64 = outcome.sessions.iter().map(|s| u64::from(s.preempted)).sum();
+    if session_preemptions != outcome.preempted {
+        violations.push(format!(
+            "preemption ledger: per-session preemptions {} != fleet total {}",
+            session_preemptions, outcome.preempted
+        ));
+    }
+    let session_migrations: u64 = outcome.sessions.iter().map(|s| u64::from(s.migrated)).sum();
+    if session_migrations != outcome.migrated {
+        violations.push(format!(
+            "migration ledger: per-session migrations {} != fleet total {}",
+            session_migrations, outcome.migrated
+        ));
+    }
+    let shard_preempted: u64 = outcome.shard_stats.iter().map(|s| s.preempted_out).sum();
+    if shard_preempted != outcome.preempted {
+        violations.push(format!(
+            "preemption ledger: shard extractions {} != fleet total {}",
+            shard_preempted, outcome.preempted
+        ));
+    }
+    let migrated_out: u64 = outcome.shard_stats.iter().map(|s| s.migrated_out).sum();
+    let migrated_in: u64 = outcome.shard_stats.iter().map(|s| s.migrated_in).sum();
+    if migrated_out != outcome.migrated || migrated_in != outcome.migrated {
+        violations.push(format!(
+            "migration ledger: {migrated_out} out / {migrated_in} in vs fleet total {}",
+            outcome.migrated
         ));
     }
 
@@ -57,10 +91,37 @@ pub fn check_fleet_outcome(outcome: &FleetOutcome) -> Vec<String> {
         ));
     }
 
+    // Priority ordering: a more urgent session never waits in the queue
+    // while a less urgent one is placed. Witness from the outcomes: session
+    // `a` (more urgent) already arrived strictly before `b`'s first
+    // placement, yet was itself first placed only after it — the driver
+    // would have had to pop `a` first.
+    for a in &outcome.sessions {
+        for b in &outcome.sessions {
+            if a.priority > b.priority
+                && a.arrived_tick < b.admitted_tick
+                && a.admitted_tick > b.admitted_tick
+            {
+                violations.push(format!(
+                    "priority: {:?} session {} (arrived t{}, admitted t{}) waited while {:?} \
+                     session {} was placed at t{}",
+                    a.priority,
+                    a.id,
+                    a.arrived_tick,
+                    a.admitted_tick,
+                    b.priority,
+                    b.id,
+                    b.admitted_tick
+                ));
+            }
+        }
+    }
+
     // No starvation: a session can wait in the queue at most as long as the
     // whole population ahead of it takes to drain through the fleet —
     // bounded by the queue depth plus total slots, times the longest
-    // session's tick count.
+    // session's tick count. Every preemption can send a session back for
+    // another round of the same wait.
     let ticks_per_session = outcome
         .sessions
         .iter()
@@ -79,10 +140,13 @@ pub fn check_fleet_outcome(outcome: &FleetOutcome) -> Vec<String> {
             ));
         }
         let running = s.completed_tick - s.admitted_tick;
-        if running > ticks_per_session {
+        let run_bound =
+            ticks_per_session + u64::from(s.preempted) * (wait_bound + ticks_per_session);
+        if running > run_bound {
             violations.push(format!(
-                "starvation: session {} ({}) resident for {running} ticks (bound {ticks_per_session})",
-                s.id, s.name
+                "starvation: session {} ({}) took {running} ticks after first placement \
+                 (bound {run_bound}, preempted {}x)",
+                s.id, s.name, s.preempted
             ));
         }
     }
@@ -112,15 +176,61 @@ pub fn fleet_replay_check(
     Ok((first, second, divergence))
 }
 
+/// Proves migration transparency: the same workload served with live
+/// migration on and off must produce identical physics for every session —
+/// same score, same verdict, same frame count. (Modeled *costs* legitimately
+/// differ: a migrated session is charged on a different machine.) Returns
+/// the migrating outcome plus any per-session divergence.
+///
+/// # Errors
+///
+/// Returns the first hard error raised by either run.
+pub fn migration_transparency_check(
+    config: &FleetConfig,
+) -> Result<(FleetOutcome, Vec<String>), CbError> {
+    let mut pinned_config = config.clone();
+    pinned_config.migration = false;
+    let pinned = run_fleet(&pinned_config)?;
+    let mut migrating_config = config.clone();
+    migrating_config.migration = true;
+    let migrating = run_fleet(&migrating_config)?;
+
+    let mut violations = Vec::new();
+    if pinned.completed != migrating.completed {
+        violations.push(format!(
+            "migration changed the completion count: {} vs {}",
+            pinned.completed, migrating.completed
+        ));
+    }
+    for s in &migrating.sessions {
+        let Some(twin) = pinned.sessions.iter().find(|p| p.id == s.id) else {
+            violations.push(format!("session {} completed only under migration", s.id));
+            continue;
+        };
+        if twin.score != s.score || twin.passed != s.passed || twin.frames != s.frames {
+            violations.push(format!(
+                "session {} diverged under migration: score {} vs {}, passed {} vs {}, frames \
+                 {} vs {}",
+                s.id, twin.score, s.score, twin.passed, s.passed, twin.frames, s.frames
+            ));
+        }
+    }
+    Ok((migrating, violations))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cod_fleet::{ShardConfig, WorkloadConfig};
+    use cod_fleet::{PlacementPolicy, Priority, ShardConfig, WorkloadConfig};
 
     fn small_config(shards: usize, seed: u64) -> FleetConfig {
         FleetConfig {
             shards,
             shard: ShardConfig { slots: 2, batch_frames: 8, pool_per_shape: 1 },
+            shard_speeds: Vec::new(),
+            placement: PlacementPolicy::SpeedWeighted,
+            preemption: false,
+            migration: false,
             max_pending: 4,
             workload: WorkloadConfig {
                 sessions: 8,
@@ -130,6 +240,22 @@ mod tests {
             },
             parallel: false,
         }
+    }
+
+    /// A heterogeneous fleet under pressure: everything on, speeds far
+    /// apart, sessions long and arrivals paced so both preemption (an urgent
+    /// arrival finding the fleet full) and migration (a free fast slot while
+    /// a slow shard still grinds) trigger within 16 sessions.
+    fn hetero_config(seed: u64) -> FleetConfig {
+        let mut config = small_config(2, seed);
+        config.shard_speeds = vec![2.0, 0.5];
+        config.preemption = true;
+        config.migration = true;
+        config.workload.sessions = 16;
+        config.workload.base_frames = 32;
+        config.workload.mean_interarrival_ticks = 1;
+        config.max_pending = 8;
+        config
     }
 
     #[test]
@@ -152,11 +278,36 @@ mod tests {
     }
 
     #[test]
+    fn a_preempting_migrating_heterogeneous_fleet_passes_every_invariant() {
+        let outcome = run_fleet(&hetero_config(0xC0D)).unwrap();
+        assert!(outcome.preempted > 0, "pressure must trigger preemption");
+        assert!(outcome.migrated > 0, "the speed gap must trigger migration");
+        let violations = check_fleet_outcome(&outcome);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
     fn replay_check_proves_bit_exact_reports() {
         let (first, second, divergence) = fleet_replay_check(&small_config(2, 0xC0D)).unwrap();
         assert_eq!(divergence, None, "fleet replay diverged");
         assert_eq!(first.fingerprint, second.fingerprint);
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn replay_check_stays_bit_exact_with_preemption_and_migration() {
+        let (first, second, divergence) = fleet_replay_check(&hetero_config(0xC0D)).unwrap();
+        assert_eq!(divergence, None, "heterogeneous fleet replay diverged");
+        assert_eq!(first, second);
+        assert!(first.migrated > 0, "the replay gate must cover at least one migration");
+        assert!(first.preempted > 0, "the replay gate must cover at least one preemption");
+    }
+
+    #[test]
+    fn migration_is_transparent_to_session_physics() {
+        let (migrating, violations) = migration_transparency_check(&hetero_config(0xC0D)).unwrap();
+        assert!(migrating.migrated > 0, "the check must exercise a real migration");
+        assert!(violations.is_empty(), "{violations:?}");
     }
 
     #[test]
@@ -177,10 +328,42 @@ mod tests {
         assert!(!check_fleet_outcome(&outcome).is_empty(), "free-slot rejection must be flagged");
 
         let mut outcome = run_fleet(&small_config(2, 3)).unwrap();
+        outcome.preempted += 1;
+        assert!(
+            !check_fleet_outcome(&outcome).is_empty(),
+            "unaccounted preemption must be flagged"
+        );
+
+        let mut outcome = run_fleet(&small_config(2, 3)).unwrap();
+        outcome.migrated += 1;
+        assert!(!check_fleet_outcome(&outcome).is_empty(), "unaccounted migration must be flagged");
+
+        let mut outcome = run_fleet(&small_config(2, 3)).unwrap();
         if let Some(s) = outcome.sessions.first_mut() {
             s.admitted_tick = s.arrived_tick + 10_000;
             s.completed_tick = s.admitted_tick + 1;
         }
         assert!(!check_fleet_outcome(&outcome).is_empty(), "starvation must be flagged");
+    }
+
+    #[test]
+    fn priority_inversions_are_caught() {
+        let mut outcome = run_fleet(&small_config(2, 3)).unwrap();
+        assert!(outcome.sessions.len() >= 2, "need two sessions to doctor an inversion");
+        // Doctor a textbook inversion: an interactive session that arrived
+        // before a batch session's placement, yet was placed after it.
+        outcome.sessions[0].priority = Priority::Interactive;
+        outcome.sessions[0].arrived_tick = 0;
+        outcome.sessions[0].admitted_tick = 9;
+        outcome.sessions[0].completed_tick = 12;
+        outcome.sessions[1].priority = Priority::Batch;
+        outcome.sessions[1].arrived_tick = 1;
+        outcome.sessions[1].admitted_tick = 2;
+        outcome.sessions[1].completed_tick = 11;
+        let violations = check_fleet_outcome(&outcome);
+        assert!(
+            violations.iter().any(|v| v.starts_with("priority:")),
+            "priority inversion must be flagged: {violations:?}"
+        );
     }
 }

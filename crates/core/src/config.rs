@@ -46,6 +46,12 @@ pub struct SimulatorConfig {
     pub exam_frames: usize,
     /// Seed for every stochastic model in the session.
     pub seed: u64,
+    /// Relative CPU speed of every desktop PC in the rack (1.0 = the paper's
+    /// reference machine; larger is faster). Scales the *modeled* per-frame
+    /// cost only — physics, telemetry and scores are speed-independent, which
+    /// is what lets a serving layer migrate a session between shards of
+    /// different speeds and replay it bit for bit.
+    pub cpu_speed: f64,
 }
 
 impl Default for SimulatorConfig {
@@ -61,6 +67,7 @@ impl Default for SimulatorConfig {
             target_fps: 16.0,
             exam_frames: 2_000,
             seed: 0x0C0D_CAFE,
+            cpu_speed: 1.0,
         }
     }
 }
@@ -83,6 +90,9 @@ impl SimulatorConfig {
         }
         if self.cargo_mass_kg < 0.0 {
             return Err("cargo mass cannot be negative".to_owned());
+        }
+        if !(self.cpu_speed > 0.0) {
+            return Err("cpu speed must be positive".to_owned());
         }
         Ok(())
     }
@@ -107,5 +117,7 @@ mod tests {
         assert!(SimulatorConfig { target_fps: 0.0, ..Default::default() }.validate().is_err());
         assert!(SimulatorConfig { cargo_mass_kg: -1.0, ..Default::default() }.validate().is_err());
         assert!(SimulatorConfig { display_width: 0, ..Default::default() }.validate().is_err());
+        assert!(SimulatorConfig { cpu_speed: 0.0, ..Default::default() }.validate().is_err());
+        assert!(SimulatorConfig { cpu_speed: -2.0, ..Default::default() }.validate().is_err());
     }
 }

@@ -104,7 +104,8 @@ impl CraneSimulator {
 
         // The top of the rack: one computer per display channel.
         for channel in 0..config.display_channels {
-            let pc = cluster.add_computer(&format!("display-{channel}"));
+            let pc =
+                cluster.add_computer_with_speed(&format!("display-{channel}"), config.cpu_speed);
             cluster.add_lp(
                 pc,
                 Box::new(VisualDisplayLp::new(
@@ -121,12 +122,12 @@ impl CraneSimulator {
             )?;
         }
         // The fourth computer: the synchronization server.
-        let sync_pc = cluster.add_computer("sync-server");
+        let sync_pc = cluster.add_computer_with_speed("sync-server", config.cpu_speed);
         cluster
             .add_lp(sync_pc, Box::new(FrameSyncServer::new(fom.sync, config.display_channels)))?;
 
         // The remaining computers host the other modules.
-        let dynamics_pc = cluster.add_computer("dynamics-pc");
+        let dynamics_pc = cluster.add_computer_with_speed("dynamics-pc", config.cpu_speed);
         cluster.add_lp(
             dynamics_pc,
             Box::new(DynamicsLp::new(
@@ -137,7 +138,7 @@ impl CraneSimulator {
             )),
         )?;
 
-        let control_pc = cluster.add_computer("control-pc");
+        let control_pc = cluster.add_computer_with_speed("control-pc", config.cpu_speed);
         let operator = make_operator(config.operator);
         cluster.add_lp(
             control_pc,
@@ -148,7 +149,7 @@ impl CraneSimulator {
             Box::new(ScenarioLp::new(registry.clone(), fom, telemetry.clone())),
         )?;
 
-        let instructor_pc = cluster.add_computer("instructor-pc");
+        let instructor_pc = cluster.add_computer_with_speed("instructor-pc", config.cpu_speed);
         let (instructor, fault_injector) =
             InstructorLp::new(registry.clone(), fom, telemetry.clone());
         cluster.add_lp(instructor_pc, Box::new(instructor))?;
@@ -157,7 +158,7 @@ impl CraneSimulator {
             Box::new(AudioLp::new(registry.clone(), fom, telemetry.clone())),
         )?;
 
-        let motion_pc = cluster.add_computer("motion-pc");
+        let motion_pc = cluster.add_computer_with_speed("motion-pc", config.cpu_speed);
         cluster.add_lp(
             motion_pc,
             Box::new(MotionPlatformLp::new(
@@ -308,7 +309,9 @@ impl CraneSimulator {
             GpuGeneration::Tnt2 => GpuCostModel::tnt2_class(),
             GpuGeneration::NextGeneration => GpuCostModel::next_generation(),
         };
-        let pc = self.cluster.add_computer(&format!("display-{channel}"));
+        let pc = self
+            .cluster
+            .add_computer_with_speed(&format!("display-{channel}"), self.config.cpu_speed);
         self.cluster.add_lp(
             pc,
             Box::new(VisualDisplayLp::new(
@@ -477,6 +480,25 @@ mod tests {
         // The new channel renders and reports a frame time like the others.
         assert_eq!(report.channel_frame_times.len(), 4);
         assert!(report.channel_frame_times[3] > Micros::ZERO);
+    }
+
+    #[test]
+    fn cpu_speed_scales_modeled_cost_but_not_physics() {
+        let base = quick_config(OperatorKind::Exam, 60);
+        let mut reference = CraneSimulator::new(base).unwrap();
+        let mut fast = CraneSimulator::new(SimulatorConfig { cpu_speed: 2.0, ..base }).unwrap();
+        reference.run().unwrap();
+        fast.run().unwrap();
+        let slow_report = reference.report();
+        let fast_report = fast.report();
+        // Physics, scoring and telemetry are speed-independent...
+        assert_eq!(slow_report.score, fast_report.score);
+        assert_eq!(slow_report.passed, fast_report.passed);
+        assert_eq!(slow_report.frames_run, fast_report.frames_run);
+        assert_eq!(reference.snapshot().crane, fast.snapshot().crane);
+        // ...while the modeled CPU cost halves on a 2x machine.
+        assert!(fast.session_cost_hint() < reference.session_cost_hint());
+        assert!(fast_report.sequential_fps > slow_report.sequential_fps);
     }
 
     #[test]

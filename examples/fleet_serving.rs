@@ -1,17 +1,24 @@
-//! Fleet serving: hundreds of concurrent crane-simulator sessions on a pool
-//! of shards — admission control, least-loaded placement, batched stepping
-//! and simulator recycling, end to end.
+//! Fleet serving: dozens of concurrent crane-simulator sessions on a pool of
+//! *unequal* shards — priority admission with preemption, speed-weighted
+//! placement, live session migration, batched stepping and simulator
+//! recycling, end to end.
 //!
 //! ```text
 //! cargo run --release --example fleet_serving
 //! ```
 
-use cod_fleet::{run_fleet, FleetConfig, FleetReport, ShardConfig, WorkloadConfig};
+use cod_fleet::{run_fleet, FleetConfig, PlacementPolicy, Priority, ShardConfig, WorkloadConfig};
 
 fn main() {
+    // One double-speed machine plus three half-speed ones — the paper's
+    // premise (commodity desktop PCs) taken seriously: they are never equal.
     let config = FleetConfig {
         shards: 4,
         shard: ShardConfig { slots: 4, batch_frames: 8, pool_per_shape: 2 },
+        shard_speeds: vec![2.0, 0.5, 0.5, 0.5],
+        placement: PlacementPolicy::SpeedWeighted,
+        preemption: true,
+        migration: true,
         max_pending: 16,
         workload: WorkloadConfig {
             sessions: 48,
@@ -23,23 +30,35 @@ fn main() {
     };
 
     println!(
-        "serving {} sessions (operator x GPU x channels x fault-plan mix, seed {:#x})",
+        "serving {} sessions (priority x operator x GPU x channels x fault-plan mix, seed {:#x})",
         config.workload.sessions, config.workload.seed
     );
     println!(
-        "fleet: {} shards x {} slots, {} frames per session per tick, queue bound {}\n",
-        config.shards, config.shard.slots, config.shard.batch_frames, config.max_pending
+        "fleet: {} shards (speeds {:?}) x {} slots, {} frames per session per tick, queue bound {}",
+        config.shards,
+        config.shard_speeds,
+        config.shard.slots,
+        config.shard.batch_frames,
+        config.max_pending
     );
+    println!("policies: speed-weighted placement, preemption on, live migration on\n");
 
     let outcome = run_fleet(&config).expect("fleet drains");
-    let report = FleetReport::from_outcome(&outcome);
+    let report = cod_fleet::FleetReport::from_outcome(&outcome);
     print!("{}", report.render_table());
 
     println!("\nfirst and last sessions through the door:");
     for s in outcome.sessions.iter().take(3).chain(outcome.sessions.iter().rev().take(2).rev()) {
         println!(
-            "  {:<28} shard {} | arrived t{:<3} done t{:<3} | {} frames | score {:>5.1}",
-            s.name, s.shard, s.arrived_tick, s.completed_tick, s.frames, s.score
+            "  {:<32} shard {} | arrived t{:<3} done t{:<3} | {} frames | score {:>5.1}{}{}",
+            s.name,
+            s.shard,
+            s.arrived_tick,
+            s.completed_tick,
+            s.frames,
+            s.score,
+            if s.preempted > 0 { " | preempted" } else { "" },
+            if s.migrated > 0 { " | migrated" } else { "" },
         );
     }
 
@@ -48,6 +67,13 @@ fn main() {
     println!(
         "\n{} sessions served by {} built racks ({} recycled through reset_for_session)",
         outcome.completed, built, recycled
+    );
+    println!(
+        "{} preemptions, {} live migrations; interactive p95 {:.1} ticks vs batch p95 {:.1}",
+        outcome.preempted,
+        outcome.migrated,
+        outcome.latency_percentile_ticks_for(Some(Priority::Interactive), 95.0),
+        outcome.latency_percentile_ticks_for(Some(Priority::Batch), 95.0),
     );
     println!(
         "modeled throughput {:.2} sessions/s over {:.1} s of serving time",

@@ -1,0 +1,12 @@
+//! Experiment E12 (`fidelity_tiers`) — Coarse-vs-Full score drift and the
+//! tiered serving capacity multiplier; see `crates/cod-bench/EXPERIMENTS.md`.
+//! Thin wrapper over `cod_bench::experiments::fidelity_tiers` so `cargo
+//! bench` and `bench_report` report identical statistics. Set
+//! `COD_BENCH_QUICK=1` for a smoke run.
+
+use cod_bench::experiments::{fidelity_tiers, ExperimentCtx};
+
+fn main() {
+    let result = fidelity_tiers::run(&ExperimentCtx::from_env());
+    println!("{}", result.summary());
+}

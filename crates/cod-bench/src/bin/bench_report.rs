@@ -1,4 +1,4 @@
-//! Runs all nine experiments of `EXPERIMENTS.md` in one pass, prints the
+//! Runs every experiment of `EXPERIMENTS.md` in one pass, prints the
 //! paper-style comparison table and writes the machine-readable
 //! `BENCH_cod.json` report.
 //!
@@ -9,7 +9,8 @@
 //! `--quick` selects the reduced measurement budget used by the CI smoke run;
 //! `--out` overrides the report path (default `BENCH_cod.json` in the current
 //! directory). Exits non-zero if the COD-vs-single-PC speedup regresses below
-//! 3× — the repo's standing perf anchor.
+//! 3× — the repo's standing perf anchor — or if the E12 Coarse-vs-Full score
+//! drift escapes the pinned tolerance.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -65,7 +66,7 @@ fn main() -> ExitCode {
     let measure = if args.quick { MeasureConfig::quick() } else { MeasureConfig::from_env() };
     let ctx = ExperimentCtx { measure, tables: args.tables };
     println!(
-        "running experiments E1-E9 ({} budget: {} samples/experiment)...",
+        "running experiments E1-E12 ({} budget: {} samples/experiment)...",
         if args.quick { "quick" } else { "full" },
         measure.samples
     );
@@ -95,5 +96,25 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("COD speedup {speedup:.2}x (floor {SPEEDUP_FLOOR:.1}x) — ok");
+
+    // Regression gate: the Coarse tier must stay score-compatible with the
+    // full rack on the E12 spec sample.
+    let drift = report
+        .experiment("E12")
+        .and_then(|e| e.derived.iter().find(|d| d.name == "max_score_drift"))
+        .map(|d| d.value)
+        .unwrap_or(f64::INFINITY);
+    if drift > crane_sim::SCORE_DRIFT_TOLERANCE {
+        eprintln!(
+            "REGRESSION: E12 Coarse-vs-Full score drift {drift:.1} points escaped the \
+             {:.1}-point tolerance",
+            crane_sim::SCORE_DRIFT_TOLERANCE
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "E12 score drift {drift:.1} points (tolerance {:.1}) — ok",
+        crane_sim::SCORE_DRIFT_TOLERANCE
+    );
     ExitCode::SUCCESS
 }

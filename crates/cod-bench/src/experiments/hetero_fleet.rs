@@ -29,6 +29,7 @@ fn config(sessions: usize, placement: PlacementPolicy, aware: bool) -> FleetConf
         placement,
         preemption: aware,
         migration: aware,
+        tiering: false,
         max_pending: 16,
         workload: WorkloadConfig {
             sessions,

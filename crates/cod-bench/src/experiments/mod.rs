@@ -1,4 +1,4 @@
-//! The ten experiments of `EXPERIMENTS.md`, as library code.
+//! The experiments of `EXPERIMENTS.md`, as library code.
 //!
 //! Each submodule owns one experiment: it prints the experiment's
 //! reproduction table (the analytic series the paper's figures correspond
@@ -11,6 +11,7 @@
 pub mod cluster_speedup;
 pub mod collision;
 pub mod dynamics;
+pub mod fidelity_tiers;
 pub mod fleet;
 pub mod framerate;
 pub mod hetero_fleet;
@@ -55,7 +56,7 @@ impl ExperimentCtx {
     }
 }
 
-/// Runs all ten experiments in order, E1 first.
+/// Runs all the experiments in order, E1 first.
 pub fn all(ctx: &ExperimentCtx) -> Vec<ExperimentResult> {
     vec![
         framerate::run(ctx),
@@ -68,5 +69,6 @@ pub fn all(ctx: &ExperimentCtx) -> Vec<ExperimentResult> {
         cluster_speedup::run(ctx),
         fleet::run(ctx),
         hetero_fleet::run(ctx),
+        fidelity_tiers::run(ctx),
     ]
 }

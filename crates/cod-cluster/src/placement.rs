@@ -25,6 +25,19 @@ impl LpLoad {
     }
 }
 
+/// Nominal modeled cost of one whole-cluster frame of a crane rack with
+/// `display_channels` surround-view channels, run sequentially on the
+/// reference desktop PC: roughly 60 ms of visual pipeline per channel plus
+/// 24 ms for the non-visual modules (sync, dynamics, control, instructor,
+/// audio, motion). This is the pre-measurement estimate a serving layer bids
+/// with before a session's own [`crate::ClusterMetrics`] cost hint is live;
+/// the three-channel rack of the paper comes out at 204 ms.
+pub fn nominal_sequential_frame_cost(display_channels: usize) -> Micros {
+    const PER_CHANNEL: u64 = 60_000;
+    const OTHER_MODULES: u64 = 24_000;
+    Micros(PER_CHANNEL.saturating_mul(display_channels as u64).saturating_add(OTHER_MODULES))
+}
+
 /// The result of packing LP loads onto computers.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Placement {
@@ -109,6 +122,13 @@ pub fn least_loaded(loads: &[Micros]) -> Option<usize> {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn nominal_cost_matches_the_reference_rack_and_scales_per_channel() {
+        assert_eq!(nominal_sequential_frame_cost(3), Micros(204_000));
+        assert_eq!(nominal_sequential_frame_cost(1), Micros(84_000));
+        assert!(nominal_sequential_frame_cost(usize::MAX).0 > 0, "saturates, never wraps");
+    }
 
     fn crane_loads() -> Vec<LpLoad> {
         vec![

@@ -5,7 +5,7 @@
 //! cargo run --release -p cod-fleet --bin fleet_report [-- --quick] [--seed N] [--shards N] [--out PATH]
 //! ```
 //!
-//! The same seeded workload is served five times:
+//! The same seeded workload is served seven times:
 //!
 //! 1. on one shard (the scaling baseline);
 //! 2. on `--shards` homogeneous shards — the ratio of modeled sessions/sec is
@@ -13,25 +13,40 @@
 //! 3. on the heterogeneous fleet (1×2.0-speed + 3×0.5-speed) with
 //!    residency-only placement;
 //! 4. on the same heterogeneous fleet with speed-weighted placement,
-//!    priorities, preemption and live migration engaged; and
+//!    priorities, preemption and live migration engaged;
 //! 5. on the aware fleet with halved slots (the priority-pressure run), so
-//!    the fleet saturates and preemption genuinely fires.
+//!    the fleet saturates and preemption genuinely fires; and
+//! 6. + 7. the tiered-capacity pair: a burst workload (every session at the
+//!    door at once) served all-Full and then with fidelity tiering on —
+//!    same rack, same seed, only the tiering policy differs.
 //!
 //! Exits non-zero if the homogeneous scaling drops below 2x, if the
 //! speed-weighted heterogeneous run does not strictly beat the
 //! residency-only one (the E10 gate), if the aware run never migrates, if
-//! the pressure run never preempts, or if interactive-class p95 latency
-//! regresses above batch-class p95 under pressure. The report carries no
-//! wall-clock stamp: two runs with the same seed produce byte-identical
-//! files — preemption and migration included.
+//! the pressure run never preempts, if interactive-class p95 latency
+//! regresses above batch-class p95 under pressure, or if the tiered run
+//! fails its gates: modeled capacity at least [`TIERED_CAPACITY_FLOOR`]x the
+//! all-Full run, at least one live promotion and one live demotion, and the
+//! largest per-session final-score drift within the pinned
+//! [`SCORE_DRIFT_TOLERANCE`]. The report carries no wall-clock stamp: two
+//! runs with the same seed produce byte-identical files — preemption,
+//! migration and retiering included.
 
+use std::collections::HashMap;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use cod_fleet::{document, run_fleet, FleetConfig, FleetReport, PlacementPolicy, Priority};
+use cod_fleet::{
+    document, run_fleet, FleetConfig, FleetReport, PlacementPolicy, Priority, TieredSection,
+};
+use crane_sim::SCORE_DRIFT_TOLERANCE;
 
 /// Minimum acceptable sessions/sec scaling from one shard to the full fleet.
 const SCALING_FLOOR: f64 = 2.0;
+
+/// Minimum acceptable modeled-capacity multiplier of the tiered run over the
+/// all-Full run on the same rack and seed.
+const TIERED_CAPACITY_FLOOR: f64 = 2.0;
 
 const USAGE: &str = "usage: fleet_report [--quick] [--seed N] [--shards N] [--out PATH]";
 
@@ -115,6 +130,26 @@ fn main() -> ExitCode {
     let mut hetero_pressure = hetero_aware.clone();
     hetero_pressure.shard.slots /= 2;
 
+    // The tiered-capacity pair: the homogeneous rack under a burst workload
+    // (every session arrives at once, so admission pressure is real), served
+    // all-Full and then with fidelity tiering on. Preemption and migration
+    // are engaged on both sides — tiering concentrates the expensive Full
+    // residents on few shards, and without rebalancing the busiest shard
+    // would mask most of the capacity the Coarse tier frees. Identical
+    // except for the tiering flag.
+    let mut tiered_full = make_config(args.shards);
+    tiered_full.workload.mean_interarrival_ticks = 0;
+    tiered_full.preemption = true;
+    tiered_full.migration = true;
+    // Admit just under half the burst: the capacity question is how fast the
+    // fleet *serves* a backlog, so the queue must be deep enough to keep the
+    // Coarse tail long — but bounded, because the bound is what lets the
+    // queue drain to calm while a Training session is still resident, and a
+    // calm tick with a live Training candidate is what makes the promotion
+    // path fire inside this run.
+    tiered_full.max_pending = tiered_full.workload.sessions / 2 - 2;
+    let tiered_on = FleetConfig { tiering: true, ..tiered_full.clone() };
+
     let workload = make_config(args.shards).workload;
     println!(
         "fleet serving: {} sessions (seed {:#x}), {} shards vs 1-shard baseline, plus the \
@@ -156,6 +191,30 @@ fn main() -> ExitCode {
         Err(msg) => return die(&msg),
     };
     let hetero_wall = wall.elapsed();
+    // The tiered pair keeps its outcomes: the score-drift gate pairs the two
+    // runs' sessions by id, which the serialized reports no longer carry.
+    let wall = Instant::now();
+    let all_full_outcome = match run_fleet(&tiered_full) {
+        Ok(outcome) => outcome,
+        Err(err) => return die(&format!("all-Full burst run failed: {err}")),
+    };
+    let tiered_outcome = match run_fleet(&tiered_on) {
+        Ok(outcome) => outcome,
+        Err(err) => return die(&format!("tiered burst run failed: {err}")),
+    };
+    let tiered_wall = wall.elapsed();
+    let full_scores: HashMap<u64, f64> =
+        all_full_outcome.sessions.iter().map(|s| (s.id, s.score)).collect();
+    let max_score_drift = tiered_outcome
+        .sessions
+        .iter()
+        .filter_map(|s| full_scores.get(&s.id).map(|full| (s.score - full).abs()))
+        .fold(0.0_f64, f64::max);
+    let tiered = TieredSection {
+        all_full: FleetReport::from_outcome(&all_full_outcome),
+        tiered: FleetReport::from_outcome(&tiered_outcome),
+        max_score_drift,
+    };
 
     println!("\n--- 1-shard baseline ({baseline_wall:.2?} wall) ---");
     print!("{}", baseline.render_table());
@@ -168,8 +227,14 @@ fn main() -> ExitCode {
     print!("{}", aware.render_table());
     println!("priority pressure (halved slots, saturating):");
     print!("{}", pressure.render_table());
+    println!("\n--- tiered-capacity pair, burst workload ({tiered_wall:.2?} wall) ---");
+    println!("all-Full:");
+    print!("{}", tiered.all_full.render_table());
+    println!("fidelity tiering on:");
+    print!("{}", tiered.tiered.render_table());
 
-    let text = document(&baseline, &fleet, Some((&naive, &aware)), args.quick).to_pretty();
+    let text =
+        document(&baseline, &fleet, Some((&naive, &aware)), Some(&tiered), args.quick).to_pretty();
     if let Err(err) = std::fs::write(&args.out, text) {
         return die(&format!("cannot write {}: {err}", args.out));
     }
@@ -255,6 +320,58 @@ fn main() -> ExitCode {
         failed = true;
     } else {
         println!("live migrations in the heterogeneous run: {} — ok", aware.migrated);
+    }
+
+    // Fidelity-tier gates, on the burst pair. Capacity: shedding fidelity
+    // must buy back at least TIERED_CAPACITY_FLOOR x of modeled serving
+    // capacity over the all-Full run. Liveness: at least one live demotion
+    // (pressure was real) and one live promotion (spare capacity bought
+    // fidelity back) — a tier gate over a fleet that never retiered proves
+    // nothing. Fidelity: the largest per-session final-score drift between
+    // the two runs stays within the pinned tolerance.
+    let capacity = if tiered.all_full.sessions_per_sec > 0.0 {
+        tiered.tiered.sessions_per_sec / tiered.all_full.sessions_per_sec
+    } else {
+        0.0
+    };
+    if capacity < TIERED_CAPACITY_FLOOR {
+        eprintln!(
+            "REGRESSION: tiered capacity multiplier {capacity:.2}x fell below the \
+             {TIERED_CAPACITY_FLOOR:.1}x floor ({:.2}/s tiered vs {:.2}/s all-Full)",
+            tiered.tiered.sessions_per_sec, tiered.all_full.sessions_per_sec
+        );
+        failed = true;
+    } else {
+        println!(
+            "tiered capacity: {:.2}/s vs all-Full {:.2}/s ({capacity:.2}x, floor \
+             {TIERED_CAPACITY_FLOOR:.1}x) — ok",
+            tiered.tiered.sessions_per_sec, tiered.all_full.sessions_per_sec
+        );
+    }
+    if tiered.tiered.demoted == 0 || tiered.tiered.promoted == 0 {
+        eprintln!(
+            "REGRESSION: the tiered burst run retiered too little ({} demotions, {} promotions) \
+             — the fidelity gates are vacuous",
+            tiered.tiered.demoted, tiered.tiered.promoted
+        );
+        failed = true;
+    } else {
+        println!(
+            "live retiering in the tiered run: {} demotions, {} promotions — ok",
+            tiered.tiered.demoted, tiered.tiered.promoted
+        );
+    }
+    if tiered.max_score_drift > SCORE_DRIFT_TOLERANCE {
+        eprintln!(
+            "REGRESSION: tiered final-score drift {:.2} exceeds the pinned tolerance {:.1}",
+            tiered.max_score_drift, SCORE_DRIFT_TOLERANCE
+        );
+        failed = true;
+    } else {
+        println!(
+            "tiered final-score drift {:.2} within tolerance {:.1} — ok",
+            tiered.max_score_drift, SCORE_DRIFT_TOLERANCE
+        );
     }
 
     if failed {

@@ -35,10 +35,11 @@
 
 use cod_cb::CbError;
 use cod_net::Micros;
+use crane_sim::FidelityTier;
 
 use crate::admission::{AdmissionConfig, AdmissionState};
 use crate::shard::{Completed, PortableSession, Shard, ShardConfig, ShardStats};
-use crate::workload::{generate, Priority, WorkloadConfig};
+use crate::workload::{coarse_eligible, generate, initial_tier, Priority, WorkloadConfig};
 
 /// How the fleet weighs shards when placing a queued session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -71,6 +72,12 @@ pub struct FleetConfig {
     pub migration: bool,
     /// Bound on the admission queue.
     pub max_pending: usize,
+    /// Whether the fleet serves fidelity tiers: Batch sessions are admitted
+    /// on the Coarse backend, and under queue pressure coarse-eligible Full
+    /// residents are demoted live (promoted back one per calm tick) — shed
+    /// fidelity before shedding sessions, buy it back with spare capacity.
+    /// Off, every session runs Full, exactly as before the tier split.
+    pub tiering: bool,
     /// The session workload.
     pub workload: WorkloadConfig,
     /// Step shards on OS threads (the outcome is identical either way).
@@ -89,6 +96,7 @@ impl FleetConfig {
             preemption: false,
             migration: false,
             max_pending: 16,
+            tiering: false,
             workload: WorkloadConfig::quick(seed),
             parallel: true,
         }
@@ -104,6 +112,7 @@ impl FleetConfig {
             preemption: false,
             migration: false,
             max_pending: 32,
+            tiering: false,
             workload: WorkloadConfig::full(seed),
             parallel: true,
         }
@@ -151,6 +160,12 @@ pub struct SessionOutcome {
     pub preempted: u32,
     /// Times the session was migrated between shards.
     pub migrated: u32,
+    /// Times the session was promoted to the Full tier.
+    pub promoted: u32,
+    /// Times the session was demoted to the Coarse tier.
+    pub demoted: u32,
+    /// The fidelity tier the session finished on.
+    pub tier: FidelityTier,
     /// Final exam score.
     pub score: f64,
     /// Whether the exam was passed.
@@ -189,6 +204,10 @@ pub struct FleetOutcome {
     pub preempted: u64,
     /// Residents moved live between shards.
     pub migrated: u64,
+    /// Residents promoted live to the Full tier.
+    pub promoted: u64,
+    /// Residents demoted live to the Coarse tier.
+    pub demoted: u64,
     /// Rejections while a slot was free (must be zero).
     pub rejected_with_free_slot: u64,
     /// Largest admission-queue depth observed.
@@ -249,6 +268,35 @@ impl FleetOutcome {
     /// Completed sessions of one priority class.
     pub fn completed_of_class(&self, class: Priority) -> usize {
         self.sessions.iter().filter(|s| s.priority == class).count()
+    }
+
+    /// Completed sessions that finished on one fidelity tier.
+    pub fn completed_of_tier(&self, tier: FidelityTier) -> usize {
+        self.sessions.iter().filter(|s| s.tier == tier).count()
+    }
+
+    /// [`FleetOutcome::latency_percentile_ticks`] restricted to sessions that
+    /// finished on one fidelity tier.
+    pub fn latency_percentile_ticks_for_tier(&self, tier: FidelityTier, p: f64) -> f64 {
+        let mut latencies: Vec<f64> = self
+            .sessions
+            .iter()
+            .filter(|s| s.tier == tier)
+            .map(|s| s.latency_ticks() as f64)
+            .collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        percentile_sorted(&latencies, p)
+    }
+
+    /// Mean final score over sessions that finished on one fidelity tier, or
+    /// `0.0` when none did.
+    pub fn mean_score_of_tier(&self, tier: FidelityTier) -> f64 {
+        let scores: Vec<f64> =
+            self.sessions.iter().filter(|s| s.tier == tier).map(|s| s.score).collect();
+        if scores.is_empty() {
+            return 0.0;
+        }
+        scores.iter().sum::<f64>() / scores.len() as f64
     }
 
     /// Fraction of the modeled serving time shard `i` spent busy, or `0.0`
@@ -364,14 +412,22 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetOutcome, CbError> {
             }
             let arrival = &arrivals[next_arrival];
             if admission.offer(arrival.spec.priority) {
+                let mut spec = arrival.spec.clone();
+                if config.tiering {
+                    // Tiering is an admission policy, not a workload property:
+                    // the same generated arrival list drives both run modes.
+                    spec.config.tier = initial_tier(spec.priority);
+                }
                 queue.push(QueueEntry {
                     portable: PortableSession {
-                        spec: arrival.spec.clone(),
+                        spec,
                         frames_done: 0,
                         arrived_tick: tick,
                         admitted_tick: tick,
                         preempted: 0,
                         migrated: 0,
+                        promoted: 0,
+                        demoted: 0,
                     },
                     seq: next_seq,
                     was_admitted: false,
@@ -415,6 +471,15 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetOutcome, CbError> {
             migrate_one(config, &mut admission, &mut shards, &mut resume_busy)?;
         }
 
+        // 3½. Retier: under queue pressure every coarse-eligible Full
+        //     resident sheds fidelity (freeing modeled capacity for the
+        //     backlog); on a calm tick one demoted session buys its full
+        //     rack back. Either direction is an in-place deterministic
+        //     replay, charged like a migration's.
+        if config.tiering {
+            retier_tick(&admission, &mut shards, &mut resume_busy)?;
+        }
+
         // 4. Batch-step every shard; fan out across threads when asked to.
         let results = step_all(&mut shards, config.parallel)?;
 
@@ -444,6 +509,8 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetOutcome, CbError> {
     }
 
     debug_assert!(admission.violations().is_empty(), "{:?}", admission.violations());
+    let promoted = shards.iter().map(|s| s.stats.promoted).sum();
+    let demoted = shards.iter().map(|s| s.stats.demoted).sum();
     Ok(FleetOutcome {
         config: config.clone(),
         ticks_run: tick,
@@ -454,11 +521,64 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetOutcome, CbError> {
         rejected: admission.rejected,
         preempted: admission.preempted,
         migrated: admission.migrated,
+        promoted,
+        demoted,
         rejected_with_free_slot: admission.rejected_with_free_slot,
         peak_pending: admission.peak_pending,
         sessions,
         shard_stats: shards.into_iter().map(|s| s.stats).collect(),
     })
+}
+
+/// The per-tick retier policy of a tiering fleet: shed fidelity before
+/// shedding sessions, buy it back with spare capacity.
+///
+/// * **Pressure** (admission queue non-empty): every Full resident whose
+///   class tolerates the Coarse backend is demoted this tick. Demotions are
+///   cheapest exactly when pressure hits — fresh placements have few frames
+///   to replay — and the freed modeled capacity drains the queue sooner.
+/// * **Calm** (queue empty): one demoted session per tick is promoted back
+///   to its Full home tier, cheapest replay first. Batch sessions are
+///   admitted Coarse and stay there; only classes whose
+///   [`initial_tier`] is Full are restored.
+fn retier_tick(
+    admission: &AdmissionState,
+    shards: &mut [Shard],
+    resume_busy: &mut [Micros],
+) -> Result<(), CbError> {
+    if admission.pending() > 0 {
+        for shard in shards.iter_mut() {
+            loop {
+                let target = shard
+                    .residents_overview()
+                    .into_iter()
+                    .filter(|v| v.tier == FidelityTier::Full && coarse_eligible(v.priority))
+                    .min_by_key(|v| (v.frames_done, v.id));
+                let Some(view) = target else { break };
+                let cost = shard.retier(view.index, FidelityTier::Coarse)?;
+                resume_busy[shard.id] += cost;
+            }
+        }
+    } else {
+        // Promotion pays a full-fidelity replay of everything the session
+        // has run so far, so it is only worth buying while a meaningful
+        // share of the session is still ahead: a near-finished straggler
+        // would charge a session-sized replay for a handful of Full frames.
+        let candidate = shards
+            .iter()
+            .flat_map(|s| s.residents_overview().into_iter().map(move |v| (s.id, v)))
+            .filter(|(_, v)| {
+                v.tier == FidelityTier::Coarse
+                    && initial_tier(v.priority) == FidelityTier::Full
+                    && v.frames_done <= 2 * v.remaining_frames
+            })
+            .min_by_key(|(sid, v)| (v.frames_done, v.id, *sid));
+        if let Some((sid, view)) = candidate {
+            let cost = shards[sid].retier(view.index, FidelityTier::Full)?;
+            resume_busy[sid] += cost;
+        }
+    }
+    Ok(())
 }
 
 /// Performs at most one strictly-improving migration: donor = most
@@ -517,6 +637,9 @@ fn session_outcome(done: Completed, tick: u64, shard: usize) -> SessionOutcome {
         shard,
         preempted: done.preempted,
         migrated: done.migrated,
+        promoted: done.promoted,
+        demoted: done.demoted,
+        tier: done.tier,
         score: done.report.score,
         passed: done.report.passed,
         cost: done.cost,
@@ -550,6 +673,7 @@ mod tests {
             preemption: false,
             migration: false,
             max_pending: 4,
+            tiering: false,
             workload: WorkloadConfig {
                 sessions: 6,
                 seed,
@@ -727,6 +851,73 @@ mod tests {
             assert_eq!(twin.score, s.score, "migration changed session {}'s score", s.id);
             assert_eq!(twin.passed, s.passed);
             assert_eq!(twin.frames, s.frames);
+        }
+    }
+
+    fn burst_config(seed: u64) -> FleetConfig {
+        let mut config = tiny_config(2, seed);
+        config.workload.sessions = 12;
+        config.workload.mean_interarrival_ticks = 0; // burst: pressure, then a calm drain
+        config.max_pending = 12;
+        config
+    }
+
+    #[test]
+    fn tiered_fleet_demotes_under_pressure_and_multiplies_throughput() {
+        let mut config = burst_config(0xC0D);
+        let all_full = run_fleet(&config).unwrap();
+        config.tiering = true;
+        let tiered = run_fleet(&config).unwrap();
+        // Tick-granularity dynamics are tier-independent: the same sessions
+        // complete, only the modeled serving time shrinks.
+        assert_eq!(all_full.completed, tiered.completed);
+        assert_eq!(all_full.rejected, tiered.rejected);
+        assert!(tiered.demoted > 0, "a bursty queue must demote residents");
+        assert!(
+            tiered.sessions_per_sec() > all_full.sessions_per_sec(),
+            "tiered {:.2}/s must beat all-Full {:.2}/s",
+            tiered.sessions_per_sec(),
+            all_full.sessions_per_sec()
+        );
+        // Promotion/demotion ledgers: per-session sums equal fleet totals
+        // equal per-shard sums.
+        let psum: u32 = tiered.sessions.iter().map(|s| s.promoted).sum();
+        let dsum: u32 = tiered.sessions.iter().map(|s| s.demoted).sum();
+        assert_eq!(u64::from(psum), tiered.promoted);
+        assert_eq!(u64::from(dsum), tiered.demoted);
+        assert_eq!(tiered.promoted, tiered.shard_stats.iter().map(|s| s.promoted).sum::<u64>());
+        assert_eq!(tiered.demoted, tiered.shard_stats.iter().map(|s| s.demoted).sum::<u64>());
+        for s in &tiered.sessions {
+            // Interactive sessions never leave the full rack; Batch is
+            // admitted Coarse and never promoted.
+            if s.priority == Priority::Interactive {
+                assert_eq!((s.tier, s.promoted, s.demoted), (FidelityTier::Full, 0, 0));
+            }
+            if s.priority == Priority::Batch {
+                assert_eq!((s.tier, s.promoted), (FidelityTier::Coarse, 0));
+            }
+        }
+        assert!(tiered.completed_of_tier(FidelityTier::Coarse) > 0);
+    }
+
+    #[test]
+    fn tiering_is_transparent_to_untouched_sessions_and_deterministic() {
+        let mut config = burst_config(7);
+        config.tiering = true;
+        let a = run_fleet(&config).unwrap();
+        let b = run_fleet(&config).unwrap();
+        assert_eq!(a, b, "a tiering run must stay a pure function of its config");
+        config.tiering = false;
+        let full = run_fleet(&config).unwrap();
+        for s in &a.sessions {
+            let twin = full.sessions.iter().find(|f| f.id == s.id).expect("same population");
+            if s.tier == FidelityTier::Full {
+                // Finishing on Full means the last (re)build replayed every
+                // frame on the full rack — bit-identical to the all-Full run
+                // even for sessions that spent time demoted in between.
+                assert_eq!(twin.score, s.score, "session {} score changed", s.id);
+                assert_eq!(twin.passed, s.passed);
+            }
         }
     }
 

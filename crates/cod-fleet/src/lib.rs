@@ -36,6 +36,7 @@
 //!     placement: PlacementPolicy::SpeedWeighted,
 //!     preemption: true,
 //!     migration: true,
+//!     tiering: true,
 //!     max_pending: 4,
 //!     workload: WorkloadConfig { sessions: 3, seed: 7, base_frames: 10, mean_interarrival_ticks: 1 },
 //!     parallel: false,
@@ -53,6 +54,8 @@ pub mod workload;
 
 pub use admission::{AdmissionConfig, AdmissionState};
 pub use fleet::{run_fleet, FleetConfig, FleetOutcome, PlacementPolicy, SessionOutcome};
-pub use report::{document, FleetReport, ShardRow, SCHEMA};
+pub use report::{document, FleetReport, ShardRow, TieredSection, SCHEMA};
 pub use shard::{Completed, PortableSession, SessionShape, Shard, ShardConfig, ShardStats};
-pub use workload::{generate, Arrival, Priority, SessionSpec, WorkloadConfig};
+pub use workload::{
+    coarse_eligible, generate, initial_tier, Arrival, Priority, SessionSpec, WorkloadConfig,
+};

@@ -8,6 +8,7 @@
 //! acceptance gate diffs two runs byte for byte.
 
 use cod_json::Json;
+use crane_sim::{FidelityTier, SCORE_DRIFT_TOLERANCE};
 use sim_math::Fnv1a;
 
 use crate::fleet::{FleetOutcome, PlacementPolicy};
@@ -16,7 +17,9 @@ use crate::workload::Priority;
 /// Schema version of `FLEET_cod.json`; bump on breaking layout changes.
 /// v2: priority classes, preemption/migration counters, heterogeneous shard
 /// speeds, interpolated latency percentiles.
-pub const SCHEMA: &str = "cod-fleet-v2";
+/// v3: fidelity tiers — per-tier completion counts, p95s and mean scores,
+/// promotion/demotion counters, and the tiered-capacity document section.
+pub const SCHEMA: &str = "cod-fleet-v3";
 
 /// Per-shard row of the report: speed, utilization and counters.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +42,10 @@ pub struct ShardRow {
     pub migrated_in: u64,
     /// Frames re-executed to fast-forward resumed sessions.
     pub replayed_frames: u64,
+    /// Residents promoted to the Full tier in place.
+    pub promoted: u64,
+    /// Residents demoted to the Coarse tier in place.
+    pub demoted: u64,
     /// Largest residency observed.
     pub peak_residents: usize,
 }
@@ -58,6 +65,8 @@ pub struct FleetReport {
     pub preemption: bool,
     /// Whether live migration was enabled.
     pub migration: bool,
+    /// Whether fidelity tiering was enabled.
+    pub tiering: bool,
     /// Concurrent sessions per shard.
     pub slots_per_shard: usize,
     /// Frames per session per fleet tick.
@@ -76,6 +85,10 @@ pub struct FleetReport {
     pub preempted: u64,
     /// Residents migrated live between shards.
     pub migrated: u64,
+    /// Residents promoted live to the Full tier.
+    pub promoted: u64,
+    /// Residents demoted live to the Coarse tier.
+    pub demoted: u64,
     /// Fleet ticks until drain.
     pub ticks: u64,
     /// Modeled serving time in milliseconds.
@@ -89,6 +102,14 @@ pub struct FleetReport {
     pub class_latency_p95: [f64; Priority::COUNT],
     /// Completed sessions per priority class, indexed by [`Priority::index`].
     pub class_completed: [u64; Priority::COUNT],
+    /// Completed sessions per fidelity tier, indexed by
+    /// [`FidelityTier::index`].
+    pub tier_completed: [u64; FidelityTier::COUNT],
+    /// p95 latency per fidelity tier, indexed by [`FidelityTier::index`].
+    pub tier_latency_p95: [f64; FidelityTier::COUNT],
+    /// Mean final score per fidelity tier, indexed by
+    /// [`FidelityTier::index`].
+    pub tier_mean_score: [f64; FidelityTier::COUNT],
     /// Mean final score of completed sessions.
     pub mean_score: f64,
     /// Fraction of completed sessions that passed.
@@ -124,6 +145,9 @@ impl FleetReport {
             h.write_u64(s.shard as u64);
             h.write_u64(u64::from(s.preempted));
             h.write_u64(u64::from(s.migrated));
+            h.write_u64(u64::from(s.promoted));
+            h.write_u64(u64::from(s.demoted));
+            h.write_u64(s.tier.index() as u64);
             h.write_u64(s.score.to_bits());
             h.write_u64(s.passed as u64);
             h.write_u64(s.cost.0);
@@ -131,6 +155,8 @@ impl FleetReport {
         h.write_u64(outcome.rejected);
         h.write_u64(outcome.preempted);
         h.write_u64(outcome.migrated);
+        h.write_u64(outcome.promoted);
+        h.write_u64(outcome.demoted);
         h.write_u64(outcome.elapsed_modeled.0);
 
         let class_latency_p95 = [
@@ -143,6 +169,14 @@ impl FleetReport {
             outcome.completed_of_class(Priority::Training) as u64,
             outcome.completed_of_class(Priority::Interactive) as u64,
         ];
+        let mut tier_completed = [0u64; FidelityTier::COUNT];
+        let mut tier_latency_p95 = [0.0; FidelityTier::COUNT];
+        let mut tier_mean_score = [0.0; FidelityTier::COUNT];
+        for tier in FidelityTier::ALL {
+            tier_completed[tier.index()] = outcome.completed_of_tier(tier) as u64;
+            tier_latency_p95[tier.index()] = outcome.latency_percentile_ticks_for_tier(tier, 95.0);
+            tier_mean_score[tier.index()] = outcome.mean_score_of_tier(tier);
+        }
 
         FleetReport {
             seed: outcome.config.workload.seed,
@@ -151,6 +185,7 @@ impl FleetReport {
             placement: outcome.config.placement,
             preemption: outcome.config.preemption,
             migration: outcome.config.migration,
+            tiering: outcome.config.tiering,
             slots_per_shard: outcome.config.shard.slots,
             batch_frames: outcome.config.shard.batch_frames,
             max_pending: outcome.config.max_pending,
@@ -160,6 +195,8 @@ impl FleetReport {
             rejected: outcome.rejected,
             preempted: outcome.preempted,
             migrated: outcome.migrated,
+            promoted: outcome.promoted,
+            demoted: outcome.demoted,
             ticks: outcome.ticks_run,
             elapsed_modeled_ms: outcome.elapsed_modeled.as_secs_f64() * 1e3,
             sessions_per_sec: outcome.sessions_per_sec(),
@@ -170,6 +207,9 @@ impl FleetReport {
             ],
             class_latency_p95,
             class_completed,
+            tier_completed,
+            tier_latency_p95,
+            tier_mean_score,
             mean_score: outcome.mean_score(),
             pass_rate: outcome.pass_rate(),
             shard_rows: (0..outcome.shard_stats.len())
@@ -185,6 +225,8 @@ impl FleetReport {
                         migrated_out: s.migrated_out,
                         migrated_in: s.migrated_in,
                         replayed_frames: s.replayed_frames,
+                        promoted: s.promoted,
+                        demoted: s.demoted,
                         peak_residents: s.peak_residents,
                     }
                 })
@@ -213,6 +255,7 @@ impl FleetReport {
             ("placement".into(), Json::Str(placement_name(self.placement).into())),
             ("preemption".into(), Json::Bool(self.preemption)),
             ("migration".into(), Json::Bool(self.migration)),
+            ("tiering".into(), Json::Bool(self.tiering)),
             ("slots_per_shard".into(), Json::Num(self.slots_per_shard as f64)),
             ("batch_frames".into(), Json::Num(self.batch_frames as f64)),
             ("max_pending".into(), Json::Num(self.max_pending as f64)),
@@ -222,6 +265,8 @@ impl FleetReport {
             ("rejected".into(), Json::Num(self.rejected as f64)),
             ("preempted".into(), Json::Num(self.preempted as f64)),
             ("migrated".into(), Json::Num(self.migrated as f64)),
+            ("promoted".into(), Json::Num(self.promoted as f64)),
+            ("demoted".into(), Json::Num(self.demoted as f64)),
             ("ticks".into(), Json::Num(self.ticks as f64)),
             ("elapsed_modeled_ms".into(), Json::Num(self.elapsed_modeled_ms)),
             ("sessions_per_sec".into(), Json::Num(self.sessions_per_sec)),
@@ -237,6 +282,35 @@ impl FleetReport {
                         .map(|p| {
                             (p.tag().to_owned(), Json::Num(self.class_completed[p.index()] as f64))
                         })
+                        .collect(),
+                ),
+            ),
+            (
+                "completed_by_tier".into(),
+                Json::Obj(
+                    FidelityTier::ALL
+                        .iter()
+                        .map(|t| {
+                            (t.tag().to_owned(), Json::Num(self.tier_completed[t.index()] as f64))
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "latency_p95_by_tier".into(),
+                Json::Obj(
+                    FidelityTier::ALL
+                        .iter()
+                        .map(|t| (t.tag().to_owned(), Json::Num(self.tier_latency_p95[t.index()])))
+                        .collect(),
+                ),
+            ),
+            (
+                "mean_score_by_tier".into(),
+                Json::Obj(
+                    FidelityTier::ALL
+                        .iter()
+                        .map(|t| (t.tag().to_owned(), Json::Num(self.tier_mean_score[t.index()])))
                         .collect(),
                 ),
             ),
@@ -260,6 +334,8 @@ impl FleetReport {
                                 ("migrated_out".into(), Json::Num(row.migrated_out as f64)),
                                 ("migrated_in".into(), Json::Num(row.migrated_in as f64)),
                                 ("replayed_frames".into(), Json::Num(row.replayed_frames as f64)),
+                                ("promoted".into(), Json::Num(row.promoted as f64)),
+                                ("demoted".into(), Json::Num(row.demoted as f64)),
                                 ("peak_residents".into(), Json::Num(row.peak_residents as f64)),
                             ])
                         })
@@ -274,12 +350,13 @@ impl FleetReport {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "  {} shards x {} slots ({}, preemption {}, migration {}) | offered {} admitted {} completed {} rejected {} preempted {} migrated {}\n",
+            "  {} shards x {} slots ({}, preemption {}, migration {}, tiering {}) | offered {} admitted {} completed {} rejected {} preempted {} migrated {}\n",
             self.shards,
             self.slots_per_shard,
             placement_name(self.placement),
             if self.preemption { "on" } else { "off" },
             if self.migration { "on" } else { "off" },
+            if self.tiering { "on" } else { "off" },
             self.offered,
             self.admitted,
             self.completed,
@@ -304,6 +381,17 @@ impl FleetReport {
             self.class_completed[Priority::Training.index()],
             self.class_completed[Priority::Batch.index()],
         ));
+        if self.tiering {
+            out.push_str(&format!(
+                "  tiers: full {} / coarse {} completed | promoted {} demoted {} | p95 full {:.1} / coarse {:.1} ticks\n",
+                self.tier_completed[FidelityTier::Full.index()],
+                self.tier_completed[FidelityTier::Coarse.index()],
+                self.promoted,
+                self.demoted,
+                self.tier_latency_p95[FidelityTier::Full.index()],
+                self.tier_latency_p95[FidelityTier::Coarse.index()],
+            ));
+        }
         out.push_str(&format!(
             "  mean score {:.1} | pass rate {:.0}% | fingerprint {:016x}\n",
             self.mean_score,
@@ -331,14 +419,30 @@ impl FleetReport {
     }
 }
 
+/// The tiered-capacity pair of the document: the same rack and seed run once
+/// all-Full and once with tiering on, plus the largest per-session
+/// final-score drift between the two runs. The drift is a property of the
+/// paired [`FleetOutcome`]s (sessions matched by id), not recoverable from
+/// the two reports alone, so callers compute and carry it here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TieredSection {
+    /// The burst workload served with every session on the Full tier.
+    pub all_full: FleetReport,
+    /// The same workload with fidelity tiering enabled.
+    pub tiered: FleetReport,
+    /// Largest `|tiered score - all-Full score|` over paired sessions.
+    pub max_score_drift: f64,
+}
+
 /// The whole `FLEET_cod.json` document: the headline run, the one-shard
-/// baseline it is gated against, and (when provided) the heterogeneous pair —
-/// residency-only vs speed-weighted placement on the 1×fast + 3×slow fleet —
-/// behind the E10 gate.
+/// baseline it is gated against, and — when provided — the heterogeneous pair
+/// (residency-only vs speed-weighted placement on the 1×fast + 3×slow fleet)
+/// behind the E10 gate and the tiered-capacity pair behind the fidelity gate.
 pub fn document(
     baseline: &FleetReport,
     fleet: &FleetReport,
     hetero: Option<(&FleetReport, &FleetReport)>,
+    tiered: Option<&TieredSection>,
     quick: bool,
 ) -> Json {
     let ratio = |num: &FleetReport, den: &FleetReport| {
@@ -365,6 +469,18 @@ pub fn document(
             ]),
         ));
     }
+    if let Some(t) = tiered {
+        members.push((
+            "tiered".into(),
+            Json::Obj(vec![
+                ("capacity_multiplier".into(), Json::Num(ratio(&t.tiered, &t.all_full))),
+                ("max_score_drift".into(), Json::Num(t.max_score_drift)),
+                ("score_drift_tolerance".into(), Json::Num(SCORE_DRIFT_TOLERANCE)),
+                ("all_full".into(), t.all_full.to_json()),
+                ("tiered".into(), t.tiered.to_json()),
+            ]),
+        ));
+    }
     Json::Obj(members)
 }
 
@@ -383,6 +499,7 @@ mod tests {
             placement: PlacementPolicy::SpeedWeighted,
             preemption: false,
             migration: false,
+            tiering: false,
             max_pending: 4,
             workload: WorkloadConfig {
                 sessions: 4,
@@ -398,16 +515,25 @@ mod tests {
     #[test]
     fn report_serializes_and_round_trips_through_the_shared_parser() {
         let report = FleetReport::from_outcome(&outcome());
-        let doc = document(&report, &report, None, true);
+        let doc = document(&report, &report, None, None, true);
         let text = doc.to_pretty();
         let parsed = Json::parse(&text).expect("valid JSON");
         assert_eq!(parsed.get("schema").and_then(Json::as_str), Some(SCHEMA));
         assert_eq!(parsed.get("scaling_sessions_per_sec").and_then(Json::as_f64), Some(1.0));
         assert!(parsed.get("hetero").is_none(), "no hetero section unless provided");
+        assert!(parsed.get("tiered").is_none(), "no tiered section unless provided");
         let fleet = parsed.get("fleet").unwrap();
         assert_eq!(fleet.get("offered").and_then(Json::as_f64), Some(4.0));
         assert_eq!(fleet.get("placement").and_then(Json::as_str), Some("speed-weighted"));
         assert_eq!(fleet.get("preempted").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(fleet.get("tiering").and_then(Json::as_bool), Some(false));
+        assert_eq!(fleet.get("promoted").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(
+            fleet.get("completed_by_tier").and_then(|t| t.get("full")).and_then(Json::as_f64),
+            Some(4.0),
+            "an untiered run completes everything on the Full tier"
+        );
+        assert!(fleet.get("latency_p95_by_tier").and_then(|t| t.get("coarse")).is_some());
         assert!(fleet.get("latency_p95_by_class").and_then(|c| c.get("int")).is_some());
         assert!(fleet.get("fingerprint").and_then(Json::as_str).is_some());
         // Hex seed survives even above 2^53.
@@ -418,12 +544,33 @@ mod tests {
     #[test]
     fn hetero_section_carries_both_policies() {
         let report = FleetReport::from_outcome(&outcome());
-        let doc = document(&report, &report, Some((&report, &report)), true);
+        let doc = document(&report, &report, Some((&report, &report)), None, true);
         let parsed = Json::parse(&doc.to_pretty()).expect("valid JSON");
         let hetero = parsed.get("hetero").expect("hetero section present");
         assert_eq!(hetero.get("speedup_speed_weighted").and_then(Json::as_f64), Some(1.0));
         assert!(hetero.get("least_resident").is_some());
         assert!(hetero.get("speed_weighted").is_some());
+    }
+
+    #[test]
+    fn tiered_section_carries_both_runs_and_the_pinned_tolerance() {
+        let report = FleetReport::from_outcome(&outcome());
+        let section = TieredSection {
+            all_full: report.clone(),
+            tiered: report.clone(),
+            max_score_drift: 1.25,
+        };
+        let doc = document(&report, &report, None, Some(&section), true);
+        let parsed = Json::parse(&doc.to_pretty()).expect("valid JSON");
+        let tiered = parsed.get("tiered").expect("tiered section present");
+        assert_eq!(tiered.get("capacity_multiplier").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(tiered.get("max_score_drift").and_then(Json::as_f64), Some(1.25));
+        assert_eq!(
+            tiered.get("score_drift_tolerance").and_then(Json::as_f64),
+            Some(SCORE_DRIFT_TOLERANCE)
+        );
+        assert!(tiered.get("all_full").is_some());
+        assert!(tiered.get("tiered").is_some());
     }
 
     #[test]

@@ -20,8 +20,9 @@
 use std::collections::BTreeMap;
 
 use cod_cb::CbError;
+use cod_cluster::nominal_sequential_frame_cost;
 use cod_net::Micros;
-use crane_sim::{CraneSimulator, SessionReport, SimulatorConfig};
+use crane_sim::{Coarse, CraneSimulator, FidelityTier, SessionReport, SimulatorConfig};
 
 use crate::workload::{Priority, SessionSpec};
 
@@ -42,21 +43,28 @@ impl Default for ShardConfig {
     }
 }
 
-/// The structural part of a [`SimulatorConfig`] — everything that decides
-/// whether a built rack can be recycled for another session. The session seed
-/// and frame budget are per-session and excluded. The shard's CPU speed is
-/// excluded too: pools are per-shard and a shard stamps its own speed onto
-/// every configuration it builds, so every rack in one pool shares it.
+/// The structural part of a [`SimulatorConfig`] — every field that affects
+/// the replay identity of a built rack, i.e. everything that decides whether
+/// a pooled simulator can be recycled for another session. Only the session
+/// seed and frame budget are per-session and excluded.
+///
+/// The CPU speed and fidelity tier are part of the key: a shard does stamp
+/// its own speed onto every configuration before the pool lookup, but the key
+/// must not *rely* on every caller doing that — a rack built at the wrong
+/// speed would report wrong modeled costs, and a Full rack handed to a Coarse
+/// session (or vice versa) would replay a different trace entirely.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct SessionShape {
     operator: u8,
     gpu: u8,
+    tier: FidelityTier,
     channels: usize,
     width: usize,
     height: usize,
     render_pixels: bool,
     cargo_mass_millig: u64,
     frame_period_us: u64,
+    cpu_speed_millis: u64,
 }
 
 impl SessionShape {
@@ -65,12 +73,14 @@ impl SessionShape {
         SessionShape {
             operator: config.operator as u8,
             gpu: config.gpu as u8,
+            tier: config.tier,
             channels: config.display_channels,
             width: config.display_width,
             height: config.display_height,
             render_pixels: config.render_pixels,
             cargo_mass_millig: (config.cargo_mass_kg * 1_000.0).round() as u64,
             frame_period_us: (1_000_000.0 / config.target_fps).round() as u64,
+            cpu_speed_millis: (config.cpu_speed * 1_000.0).round() as u64,
         }
     }
 }
@@ -84,6 +94,8 @@ struct Resident {
     admitted_tick: u64,
     preempted: u32,
     migrated: u32,
+    promoted: u32,
+    demoted: u32,
 }
 
 /// A resident session serialized for transport: everything needed to resume
@@ -106,6 +118,10 @@ pub struct PortableSession {
     pub preempted: u32,
     /// Times the session has been migrated so far.
     pub migrated: u32,
+    /// Times the session has been promoted to the Full tier so far.
+    pub promoted: u32,
+    /// Times the session has been demoted to the Coarse tier so far.
+    pub demoted: u32,
 }
 
 /// A cheap view of one resident the fleet driver uses to pick preemption
@@ -118,6 +134,8 @@ pub struct ResidentView {
     pub id: u64,
     /// The session's priority class.
     pub priority: Priority,
+    /// The fidelity tier currently serving the session.
+    pub tier: FidelityTier,
     /// Frames already executed.
     pub frames_done: usize,
     /// Frames still to run.
@@ -146,6 +164,12 @@ pub struct Completed {
     pub preempted: u32,
     /// Times the session was migrated between shards.
     pub migrated: u32,
+    /// Times the session was promoted to the Full tier.
+    pub promoted: u32,
+    /// Times the session was demoted to the Coarse tier.
+    pub demoted: u32,
+    /// The fidelity tier the session finished on.
+    pub tier: FidelityTier,
     /// The session's final report.
     pub report: SessionReport,
     /// Total modeled cost the session charged this shard.
@@ -173,6 +197,10 @@ pub struct ShardStats {
     pub migrated_in: u64,
     /// Frames re-executed to fast-forward resumed sessions.
     pub replayed_frames: u64,
+    /// Residents promoted to the Full tier in place.
+    pub promoted: u64,
+    /// Residents demoted to the Coarse tier in place.
+    pub demoted: u64,
     /// Largest residency observed.
     pub peak_residents: usize,
 }
@@ -223,18 +251,34 @@ impl Shard {
         self.config.slots - self.residents.len()
     }
 
-    /// Whole-cluster sequential frame cost of the standard rack on the
-    /// reference PC before a measurement exists (three 60 ms displays plus
-    /// the other modules), scaled to this shard's speed.
+    /// Per-session-frame cost of an unmeasured session on this shard, by
+    /// tier. The Full estimate deliberately assumes the worst-case
+    /// three-channel rack so placement never underestimates a session it has
+    /// not seen run; the Coarse estimate is the single-channel rack spread
+    /// over its decimation batch — which is what stops a Coarse resident from
+    /// inflating placement bids and backlog costs at full-rack price.
+    fn nominal_frame_cost_for(&self, tier: FidelityTier) -> Micros {
+        let reference = match tier {
+            FidelityTier::Full => nominal_sequential_frame_cost(3),
+            FidelityTier::Coarse => Micros(
+                nominal_sequential_frame_cost(Coarse::DISPLAY_CHANNELS).0 / Coarse::DECIMATION,
+            ),
+        };
+        Micros((reference.0 as f64 / self.speed).round() as u64)
+    }
+
+    /// The worst-case (Full-tier) nominal frame cost, used to price an
+    /// arriving session of unknown measured cost into a placement bid.
     fn nominal_frame_cost(&self) -> Micros {
-        const NOMINAL_REFERENCE_COST: Micros = Micros(204_000);
-        Micros((NOMINAL_REFERENCE_COST.0 as f64 / self.speed).round() as u64)
+        self.nominal_frame_cost_for(FidelityTier::Full)
     }
 
     fn per_frame_cost(&self, r: &Resident) -> Micros {
+        // The backend-specific hint: a Coarse session reports its decimated
+        // per-session-frame cost, not the full-rack one.
         let hint = r.sim.session_cost_hint();
         if hint == Micros::ZERO {
-            self.nominal_frame_cost()
+            self.nominal_frame_cost_for(r.spec.config.tier)
         } else {
             hint
         }
@@ -296,6 +340,7 @@ impl Shard {
                 index,
                 id: r.spec.id,
                 priority: r.spec.priority,
+                tier: r.spec.config.tier,
                 frames_done: r.frames_done,
                 remaining_frames: r.spec.frames.saturating_sub(r.frames_done),
                 per_frame: self.per_frame_cost(r),
@@ -346,6 +391,8 @@ impl Shard {
             admitted_tick,
             preempted: 0,
             migrated: 0,
+            promoted: 0,
+            demoted: 0,
         };
         self.resume(portable).map(|_| ())
     }
@@ -372,6 +419,8 @@ impl Shard {
             admitted_tick,
             preempted,
             migrated,
+            promoted,
+            demoted,
         } = portable;
         // The shard's machine speed is a property of the shard, not the
         // session: stamp it before the shape lookup so pooled racks match.
@@ -394,6 +443,8 @@ impl Shard {
             admitted_tick,
             preempted,
             migrated,
+            promoted,
+            demoted,
         });
         self.stats.peak_residents = self.stats.peak_residents.max(self.residents.len());
         Ok(replay_cost)
@@ -427,7 +478,57 @@ impl Shard {
             admitted_tick: r.admitted_tick,
             preempted: r.preempted,
             migrated: r.migrated,
+            promoted: r.promoted,
+            demoted: r.demoted,
         }
+    }
+
+    /// Moves the resident at `index` to `tier` in place, by the same
+    /// deterministic replay that powers migration: the old rack goes back to
+    /// the recycling pool under its old shape, a rack of the new tier is
+    /// built or recycled, and the frames done so far are replayed on it from
+    /// the session seed. The session's trace is therefore bit-identical to
+    /// one admitted on the new tier from the start — promotion and demotion
+    /// are transparent to everything but the modeled cost. Returns the
+    /// replay cost, charged to this shard's busy time.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the new tier's simulator fails to build, reset or
+    /// replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or the resident is already on `tier`.
+    pub fn retier(&mut self, index: usize, tier: FidelityTier) -> Result<Micros, CbError> {
+        let mut r = self.residents.remove(index);
+        assert_ne!(r.spec.config.tier, tier, "retier must change the tier");
+        let shape = SessionShape::of(&r.spec.config);
+        let pool = self.pool.entry(shape).or_default();
+        if pool.len() < self.config.pool_per_shape {
+            pool.push(r.sim);
+        }
+        match tier {
+            FidelityTier::Full => {
+                r.promoted += 1;
+                self.stats.promoted += 1;
+            }
+            FidelityTier::Coarse => {
+                r.demoted += 1;
+                self.stats.demoted += 1;
+            }
+        }
+        r.spec.config.tier = tier;
+        self.resume(PortableSession {
+            spec: r.spec,
+            frames_done: r.frames_done,
+            arrived_tick: r.arrived_tick,
+            admitted_tick: r.admitted_tick,
+            preempted: r.preempted,
+            migrated: r.migrated,
+            promoted: r.promoted,
+            demoted: r.demoted,
+        })
     }
 
     /// Books a migrated-in session (the paired accounting of
@@ -489,6 +590,9 @@ impl Shard {
             admitted_tick: r.admitted_tick,
             preempted: r.preempted,
             migrated: r.migrated,
+            promoted: r.promoted,
+            demoted: r.demoted,
+            tier: r.spec.config.tier,
             report,
             cost,
         }
@@ -583,16 +687,165 @@ mod tests {
     }
 
     #[test]
-    fn shapes_distinguish_structural_fields_only() {
+    fn shapes_distinguish_every_replay_identity_field() {
         let a = tiny_spec(0, 5, 10);
+        // Per-session fields (seed, frame budget) do not change the shape...
         let mut b = a.clone();
         b.config.seed ^= 1;
         b.config.exam_frames = 99;
-        b.config.cpu_speed = 2.0;
         assert_eq!(SessionShape::of(&a.config), SessionShape::of(&b.config));
+        // ...but every field that affects the built rack or its replay does.
         let mut c = a.clone();
         c.config.display_channels += 1;
         assert_ne!(SessionShape::of(&a.config), SessionShape::of(&c.config));
+        // Regression: cpu_speed was once excluded, so a rack built at one
+        // speed could be recycled at another and misreport modeled cost.
+        let mut d = a.clone();
+        d.config.cpu_speed = 2.0;
+        assert_ne!(SessionShape::of(&a.config), SessionShape::of(&d.config));
+        // The fidelity tier selects a different backend entirely.
+        let mut e = a.clone();
+        e.config.tier = FidelityTier::Coarse;
+        assert_ne!(SessionShape::of(&a.config), SessionShape::of(&e.config));
+    }
+
+    #[test]
+    fn pool_never_hands_a_rack_across_tiers() {
+        let mut shard =
+            Shard::new(0, ShardConfig { slots: 1, batch_frames: 8, pool_per_shape: 2 }, 1.0);
+        let full = tiny_spec(0, 5, 8);
+        let mut coarse = tiny_spec(1, 5, 8);
+        coarse.config.tier = FidelityTier::Coarse;
+        shard.admit(full, 0, 0).unwrap();
+        shard.step_batch().unwrap();
+        shard.admit(coarse, 1, 1).unwrap();
+        shard.step_batch().unwrap();
+        assert_eq!(
+            shard.stats.sims_built, 2,
+            "a pooled Full rack must never serve a Coarse session"
+        );
+        assert_eq!(shard.stats.sims_recycled, 0);
+    }
+
+    #[test]
+    fn coarse_residents_bid_and_charge_an_order_of_magnitude_less() {
+        let spec = tiny_spec(0, 5, 32);
+        let mut full_shard = Shard::new(0, ShardConfig::default(), 1.0);
+        let mut coarse_shard = Shard::new(1, ShardConfig::default(), 1.0);
+        let mut coarse_spec = spec.clone();
+        coarse_spec.config.tier = FidelityTier::Coarse;
+        full_shard.admit(spec, 0, 0).unwrap();
+        coarse_shard.admit(coarse_spec, 0, 0).unwrap();
+        // Before any frame runs, the nominal per-tier estimate already keeps
+        // Coarse bids an order of magnitude below Full ones...
+        assert!(full_shard.backlog_cost().0 >= 10 * coarse_shard.backlog_cost().0);
+        // ...and served to completion the measured gap stays severalfold. (It
+        // narrows from the nominal 19x because the one expensive first frame
+        // — scene loading — amortizes over 8x fewer real frames on Coarse.)
+        while full_shard.resident_count() > 0 {
+            full_shard.step_batch().unwrap();
+        }
+        while coarse_shard.resident_count() > 0 {
+            coarse_shard.step_batch().unwrap();
+        }
+        assert!(
+            coarse_shard.stats.busy.0 * 5 <= full_shard.stats.busy.0,
+            "coarse served the session at {} busy vs full {}",
+            coarse_shard.stats.busy.0,
+            full_shard.stats.busy.0
+        );
+    }
+
+    #[test]
+    fn retier_round_trip_replays_the_full_trace_bit_exactly() {
+        let spec = tiny_spec(0, 13, 24);
+        // Uninterrupted Full baseline.
+        let mut baseline = Shard::new(0, ShardConfig::default(), 1.0);
+        baseline.admit(spec.clone(), 0, 0).unwrap();
+        let mut base_done = Vec::new();
+        while baseline.resident_count() > 0 {
+            base_done.extend(baseline.step_batch().unwrap().0);
+        }
+        // Full → Coarse → Full around the middle batches.
+        let mut shard = Shard::new(1, ShardConfig::default(), 1.0);
+        shard.admit(spec, 0, 0).unwrap();
+        shard.step_batch().unwrap();
+        shard.retier(0, FidelityTier::Coarse).unwrap();
+        assert_eq!(shard.residents_overview()[0].tier, FidelityTier::Coarse);
+        shard.step_batch().unwrap();
+        let replay = shard.retier(0, FidelityTier::Full).unwrap();
+        assert!(replay > Micros::ZERO, "promotion must charge the replay");
+        let mut done = Vec::new();
+        while shard.resident_count() > 0 {
+            done.extend(shard.step_batch().unwrap().0);
+        }
+        assert_eq!(shard.stats.promoted, 1);
+        assert_eq!(shard.stats.demoted, 1);
+        assert_eq!(done[0].promoted, 1);
+        assert_eq!(done[0].demoted, 1);
+        assert_eq!(done[0].tier, FidelityTier::Full);
+        assert_eq!(
+            base_done[0].report, done[0].report,
+            "a promoted session must be bit-identical to one never demoted"
+        );
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        /// Whatever the schedule, a Full → Coarse → Full session replays the
+        /// uninterrupted full-fidelity run bit for bit — score, trace and
+        /// ledger — and a Coarse simulator stepped in two arbitrary chunks
+        /// keeps the decimation phase of a straight run (same telemetry
+        /// digest), so retier replays can cut a session anywhere.
+        #[test]
+        fn prop_retier_round_trip_is_bit_exact(
+            seed in 0u64..(1 << 48),
+            batches_full in 1usize..3,
+            batches_coarse in 1usize..3,
+            split in 1usize..39,
+        ) {
+            let frames = 40;
+            let spec = tiny_spec(0, seed, frames);
+            // Uninterrupted Full baseline.
+            let mut baseline = Shard::new(0, ShardConfig::default(), 1.0);
+            baseline.admit(spec.clone(), 0, 0).unwrap();
+            let mut base_done = Vec::new();
+            while baseline.resident_count() > 0 {
+                base_done.extend(baseline.step_batch().unwrap().0);
+            }
+            // Full → Coarse → Full at the proptest-chosen cut points.
+            let mut shard = Shard::new(1, ShardConfig::default(), 1.0);
+            shard.admit(spec.clone(), 0, 0).unwrap();
+            for _ in 0..batches_full {
+                shard.step_batch().unwrap();
+            }
+            shard.retier(0, FidelityTier::Coarse).unwrap();
+            for _ in 0..batches_coarse {
+                shard.step_batch().unwrap();
+            }
+            shard.retier(0, FidelityTier::Full).unwrap();
+            let mut done = Vec::new();
+            while shard.resident_count() > 0 {
+                done.extend(shard.step_batch().unwrap().0);
+            }
+            prop_assert_eq!(done.len(), 1);
+            prop_assert_eq!((done[0].promoted, done[0].demoted), (1, 1));
+            prop_assert_eq!(&base_done[0].report, &done[0].report);
+            // The Coarse decimation phase survives an arbitrary split — the
+            // bookkeeping a retier replay relies on when it re-runs a session
+            // whose frame count is not a multiple of the decimation factor.
+            let mut coarse_config = spec.config.clone();
+            coarse_config.tier = FidelityTier::Coarse;
+            let mut straight = CraneSimulator::new(coarse_config.clone()).unwrap();
+            straight.run_frames(frames).unwrap();
+            let mut chunked = CraneSimulator::new(coarse_config).unwrap();
+            chunked.run_frames(split).unwrap();
+            chunked.run_frames(frames - split).unwrap();
+            prop_assert_eq!(straight.telemetry_digest(), chunked.telemetry_digest());
+            prop_assert_eq!(straight.report(), chunked.report());
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use cod_net::plans;
 use cod_net::FaultPlan;
-use crane_sim::{GpuGeneration, OperatorKind, SimulatorConfig};
+use crane_sim::{FidelityTier, GpuGeneration, OperatorKind, SimulatorConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -47,6 +47,23 @@ impl Priority {
             Priority::Training => "trn",
             Priority::Interactive => "int",
         }
+    }
+}
+
+/// Whether sessions of this class may be served by the Coarse backend.
+/// Interactive sessions have a person at the controls and always get the full
+/// rack; Training and Batch work tolerates the decimated tier.
+pub fn coarse_eligible(priority: Priority) -> bool {
+    priority != Priority::Interactive
+}
+
+/// The fidelity tier a tiering fleet admits sessions of this class at. Batch
+/// work starts (and stays) Coarse; Training starts Full but is the demotion
+/// reservoir under pressure; Interactive is always Full.
+pub fn initial_tier(priority: Priority) -> FidelityTier {
+    match priority {
+        Priority::Batch => FidelityTier::Coarse,
+        Priority::Training | Priority::Interactive => FidelityTier::Full,
     }
 }
 
@@ -237,6 +254,20 @@ mod tests {
             classes.insert(a.spec.priority);
         }
         assert_eq!(classes.len(), Priority::COUNT, "all classes should appear in 64 draws");
+    }
+
+    #[test]
+    fn tier_policy_protects_interactive_sessions() {
+        assert!(!coarse_eligible(Priority::Interactive));
+        assert!(coarse_eligible(Priority::Batch) && coarse_eligible(Priority::Training));
+        assert_eq!(initial_tier(Priority::Batch), FidelityTier::Coarse);
+        assert_eq!(initial_tier(Priority::Training), FidelityTier::Full);
+        assert_eq!(initial_tier(Priority::Interactive), FidelityTier::Full);
+        // The generator itself stays tier-neutral: tiering is a fleet policy
+        // applied at admission, so the same workload drives both run modes.
+        for a in generate(&WorkloadConfig::quick(3)) {
+            assert_eq!(a.spec.config.tier, FidelityTier::Full);
+        }
     }
 
     #[test]

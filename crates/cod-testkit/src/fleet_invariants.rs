@@ -5,7 +5,8 @@
 //! nobody, and replay bit-exactly from its seed.
 
 use cod_cb::CbError;
-use cod_fleet::{run_fleet, FleetConfig, FleetOutcome, FleetReport};
+use cod_fleet::{initial_tier, run_fleet, FleetConfig, FleetOutcome, FleetReport, Priority};
+use crane_sim::{FidelityTier, SCORE_DRIFT_TOLERANCE};
 
 /// Checks every fleet-level safety property on a drained outcome; returns a
 /// description of each violated property (empty ⇒ all held).
@@ -66,6 +67,51 @@ pub fn check_fleet_outcome(outcome: &FleetOutcome) -> Vec<String> {
             "migration ledger: {migrated_out} out / {migrated_in} in vs fleet total {}",
             outcome.migrated
         ));
+    }
+    // Retier ledger: promotions and demotions are counted three ways — per
+    // session, per shard, and as fleet totals — and all three must agree.
+    let session_promotions: u64 = outcome.sessions.iter().map(|s| u64::from(s.promoted)).sum();
+    let session_demotions: u64 = outcome.sessions.iter().map(|s| u64::from(s.demoted)).sum();
+    let shard_promotions: u64 = outcome.shard_stats.iter().map(|s| s.promoted).sum();
+    let shard_demotions: u64 = outcome.shard_stats.iter().map(|s| s.demoted).sum();
+    if session_promotions != outcome.promoted || shard_promotions != outcome.promoted {
+        violations.push(format!(
+            "retier ledger: per-session promotions {session_promotions} / shard promotions \
+             {shard_promotions} vs fleet total {}",
+            outcome.promoted
+        ));
+    }
+    if session_demotions != outcome.demoted || shard_demotions != outcome.demoted {
+        violations.push(format!(
+            "retier ledger: per-session demotions {session_demotions} / shard demotions \
+             {shard_demotions} vs fleet total {}",
+            outcome.demoted
+        ));
+    }
+    if !outcome.config.tiering && outcome.promoted + outcome.demoted > 0 {
+        violations.push(format!(
+            "retier ledger: {} promotions / {} demotions with tiering off",
+            outcome.promoted, outcome.demoted
+        ));
+    }
+    // Tier policy: an Interactive session never leaves the full rack, and a
+    // Batch session (admitted Coarse) is never promoted above its home tier.
+    for s in &outcome.sessions {
+        if s.priority == Priority::Interactive
+            && (s.tier != FidelityTier::Full || s.promoted + s.demoted > 0)
+        {
+            violations.push(format!(
+                "tier policy: interactive session {} finished {:?} with {} promotions / {} \
+                 demotions",
+                s.id, s.tier, s.promoted, s.demoted
+            ));
+        }
+        if initial_tier(s.priority) == FidelityTier::Coarse && s.promoted > 0 {
+            violations.push(format!(
+                "tier policy: {:?} session {} was promoted above its Coarse home tier",
+                s.priority, s.id
+            ));
+        }
     }
 
     // Capacity: no shard may ever have hosted more sessions than it has
@@ -218,6 +264,63 @@ pub fn migration_transparency_check(
     Ok((migrating, violations))
 }
 
+/// Proves fidelity-tiering transparency: the same workload served all-Full
+/// and with live tiering must complete the *same* sessions (tick-granularity
+/// dynamics are tier-independent), any session finishing on the Full tier
+/// must be bit-identical to its all-Full twin (its last rebuild replayed
+/// every frame on the full rack), and a session finishing Coarse may drift
+/// only within [`SCORE_DRIFT_TOLERANCE`]. Returns the tiered outcome plus
+/// any per-session divergence.
+///
+/// # Errors
+///
+/// Returns the first hard error raised by either run.
+pub fn tier_transparency_check(
+    config: &FleetConfig,
+) -> Result<(FleetOutcome, Vec<String>), CbError> {
+    let mut full_config = config.clone();
+    full_config.tiering = false;
+    let full = run_fleet(&full_config)?;
+    let mut tiered_config = config.clone();
+    tiered_config.tiering = true;
+    let tiered = run_fleet(&tiered_config)?;
+
+    let mut violations = Vec::new();
+    if full.completed != tiered.completed || full.rejected != tiered.rejected {
+        violations.push(format!(
+            "tiering changed the admission outcome: {} completed / {} rejected vs {} / {}",
+            tiered.completed, tiered.rejected, full.completed, full.rejected
+        ));
+    }
+    for s in &tiered.sessions {
+        let Some(twin) = full.sessions.iter().find(|f| f.id == s.id) else {
+            violations.push(format!("session {} completed only under tiering", s.id));
+            continue;
+        };
+        if twin.frames != s.frames {
+            violations.push(format!(
+                "session {} changed length under tiering: {} frames vs {}",
+                s.id, s.frames, twin.frames
+            ));
+        }
+        if s.tier == FidelityTier::Full && (twin.score != s.score || twin.passed != s.passed) {
+            violations.push(format!(
+                "session {} finished Full yet diverged: score {} vs {}, passed {} vs {}",
+                s.id, s.score, twin.score, s.passed, twin.passed
+            ));
+        }
+        if (s.score - twin.score).abs() > SCORE_DRIFT_TOLERANCE {
+            violations.push(format!(
+                "session {} drifted {:.1} points under tiering (tolerance {})",
+                s.id,
+                (s.score - twin.score).abs(),
+                SCORE_DRIFT_TOLERANCE
+            ));
+        }
+    }
+    Ok((tiered, violations))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +334,7 @@ mod tests {
             placement: PlacementPolicy::SpeedWeighted,
             preemption: false,
             migration: false,
+            tiering: false,
             max_pending: 4,
             workload: WorkloadConfig {
                 sessions: 8,
@@ -255,6 +359,20 @@ mod tests {
         config.workload.base_frames = 32;
         config.workload.mean_interarrival_ticks = 1;
         config.max_pending = 8;
+        config
+    }
+
+    /// A tiered burst: everything arrives at once so admission pressure
+    /// demotes the coarse-eligible residents, then the bounded queue drains
+    /// to calm while a Training session is still resident, so at least one
+    /// promotion fires too.
+    fn tiered_burst_config(seed: u64) -> FleetConfig {
+        let mut config = small_config(2, seed);
+        config.tiering = true;
+        config.workload.sessions = 16;
+        config.workload.base_frames = 32;
+        config.workload.mean_interarrival_ticks = 0;
+        config.max_pending = 4;
         config
     }
 
@@ -304,6 +422,31 @@ mod tests {
     }
 
     #[test]
+    fn a_tiered_burst_fleet_passes_every_invariant() {
+        let outcome = run_fleet(&tiered_burst_config(0xC0D)).unwrap();
+        assert!(outcome.demoted > 0, "the burst must trigger live demotion");
+        assert!(outcome.promoted > 0, "the calm drain must trigger live promotion");
+        let violations = check_fleet_outcome(&outcome);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn replay_check_stays_bit_exact_with_tiering() {
+        let (first, second, divergence) = fleet_replay_check(&tiered_burst_config(0xC0D)).unwrap();
+        assert_eq!(divergence, None, "tiered fleet replay diverged");
+        assert_eq!(first, second);
+        assert!(first.demoted > 0, "the replay gate must cover at least one demotion");
+        assert!(first.promoted > 0, "the replay gate must cover at least one promotion");
+    }
+
+    #[test]
+    fn tiering_is_transparent_to_session_physics() {
+        let (tiered, violations) = tier_transparency_check(&tiered_burst_config(0xC0D)).unwrap();
+        assert!(tiered.demoted > 0, "the check must exercise a real demotion");
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
     fn migration_is_transparent_to_session_physics() {
         let (migrating, violations) = migration_transparency_check(&hetero_config(0xC0D)).unwrap();
         assert!(migrating.migrated > 0, "the check must exercise a real migration");
@@ -344,6 +487,26 @@ mod tests {
             s.completed_tick = s.admitted_tick + 1;
         }
         assert!(!check_fleet_outcome(&outcome).is_empty(), "starvation must be flagged");
+
+        let mut outcome = run_fleet(&small_config(2, 3)).unwrap();
+        outcome.promoted += 1;
+        assert!(!check_fleet_outcome(&outcome).is_empty(), "unaccounted promotion must be flagged");
+
+        let mut outcome = run_fleet(&small_config(2, 3)).unwrap();
+        outcome.demoted += 1;
+        assert!(!check_fleet_outcome(&outcome).is_empty(), "unaccounted demotion must be flagged");
+
+        let mut outcome = run_fleet(&tiered_burst_config(0xC0D)).unwrap();
+        let doctored = outcome
+            .sessions
+            .iter_mut()
+            .find(|s| s.priority == Priority::Interactive)
+            .expect("the burst workload has interactive sessions");
+        doctored.tier = FidelityTier::Coarse;
+        assert!(
+            check_fleet_outcome(&outcome).iter().any(|v| v.starts_with("tier policy:")),
+            "a coarse interactive session must be flagged"
+        );
     }
 
     #[test]

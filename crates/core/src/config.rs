@@ -22,6 +22,54 @@ pub enum OperatorKind {
     Reckless,
 }
 
+/// Which simulation backend serves the session.
+///
+/// The paper's core trade is fidelity versus cluster cost: a full rack per
+/// trainee gives licensing-exam fidelity, but batch scoring and early training
+/// runs tolerate a much cheaper approximation. The tier selects the backend
+/// behind [`crate::CraneSimulator`]; both tiers run the same physics from the
+/// same seed, so a session can move between them by deterministic replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FidelityTier {
+    /// The paper's eight-PC rack: every display channel, every module, full
+    /// integrator rate. The only tier that existed before the backend split.
+    Full,
+    /// A decimated rack: one display channel and one cluster frame per
+    /// [`crate::backend::Coarse::DECIMATION`] session frames, order(s) of
+    /// magnitude cheaper in modeled cost and score-compatible within
+    /// [`crate::backend::SCORE_DRIFT_TOLERANCE`].
+    Coarse,
+}
+
+impl FidelityTier {
+    /// Every tier, cheapest last.
+    pub const ALL: [FidelityTier; 2] = [FidelityTier::Full, FidelityTier::Coarse];
+    /// Number of tiers.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Dense index for per-tier tables.
+    pub fn index(self) -> usize {
+        match self {
+            FidelityTier::Full => 0,
+            FidelityTier::Coarse => 1,
+        }
+    }
+
+    /// Short tag for reports.
+    pub fn tag(self) -> &'static str {
+        match self {
+            FidelityTier::Full => "full",
+            FidelityTier::Coarse => "coarse",
+        }
+    }
+}
+
+impl Default for FidelityTier {
+    fn default() -> Self {
+        FidelityTier::Full
+    }
+}
+
 /// Configuration of a simulator session.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimulatorConfig {
@@ -52,6 +100,9 @@ pub struct SimulatorConfig {
     /// is what lets a serving layer migrate a session between shards of
     /// different speeds and replay it bit for bit.
     pub cpu_speed: f64,
+    /// Fidelity tier: which backend serves the session. Part of the replay
+    /// identity — the same seed on a different tier is a different trace.
+    pub tier: FidelityTier,
 }
 
 impl Default for SimulatorConfig {
@@ -68,6 +119,7 @@ impl Default for SimulatorConfig {
             exam_frames: 2_000,
             seed: 0x0C0D_CAFE,
             cpu_speed: 1.0,
+            tier: FidelityTier::Full,
         }
     }
 }
@@ -109,6 +161,16 @@ mod tests {
         assert_eq!(c.display_channels, 3);
         assert_eq!(c.target_fps, 16.0);
         assert_eq!(c.gpu, GpuGeneration::Tnt2);
+        assert_eq!(c.tier, FidelityTier::Full, "the paper's rack is the default tier");
+    }
+
+    #[test]
+    fn tier_indices_are_dense_and_tags_distinct() {
+        for (i, tier) in FidelityTier::ALL.into_iter().enumerate() {
+            assert_eq!(tier.index(), i);
+        }
+        assert_ne!(FidelityTier::Full.tag(), FidelityTier::Coarse.tag());
+        assert_eq!(FidelityTier::default(), FidelityTier::Full);
     }
 
     #[test]

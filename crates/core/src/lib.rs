@@ -21,6 +21,7 @@
 //! ```
 
 pub mod audio;
+pub mod backend;
 pub mod config;
 pub mod dashboard;
 pub mod dynamics;
@@ -33,7 +34,8 @@ pub mod simulator;
 pub mod telemetry;
 pub mod visual;
 
-pub use config::{GpuGeneration, OperatorKind, SimulatorConfig};
+pub use backend::{Coarse, FullFidelity, SimBackend, SCORE_DRIFT_TOLERANCE};
+pub use config::{FidelityTier, GpuGeneration, OperatorKind, SimulatorConfig};
 pub use fom::CraneFom;
 pub use operator::{ExamOperator, IdleOperator, Observation, Operator, RecklessOperator};
 pub use simulator::{CraneSimulator, SessionReport};

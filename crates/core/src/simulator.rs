@@ -4,32 +4,28 @@
 //! LAN — three display channels, one frame-synchronization server, and four
 //! computers hosting the dynamics, dashboard + scenario, instructor + audio and
 //! motion-platform modules — all glued together by the Communication Backbone.
+//!
+//! Since the fidelity-tier refactor, [`CraneSimulator`] is a thin facade over
+//! a [`SimBackend`]: the deployment above lives in
+//! [`crate::backend::FullFidelity`], and [`crate::backend::Coarse`] provides a
+//! decimated, order(s)-of-magnitude cheaper tier behind the same API. The
+//! facade dispatches on [`SimulatorConfig::tier`] at construction.
 
-use cod_cluster::{
-    frame_period_for_fps, Cluster, ClusterConfig, ComputerId, FrameRecord, FrameSyncServer,
-};
-use cod_net::{FaultPlan, LanConfig, LanStats, Micros};
-use render_sim::GpuCostModel;
+use cod_cluster::{Cluster, ComputerId, FrameRecord};
+use cod_net::{FaultPlan, LanStats, Micros};
 use serde::{Deserialize, Serialize};
 
-use crate::audio::AudioLp;
-use crate::config::{GpuGeneration, OperatorKind, SimulatorConfig};
-use crate::dashboard::DashboardLp;
-use crate::dynamics::DynamicsLp;
-use crate::fom::CraneFom;
-use crate::instructor::{FaultInjector, InstructorLp};
-use crate::motion::MotionPlatformLp;
-use crate::operator::{ExamOperator, IdleOperator, Operator, RecklessOperator};
-use crate::scenario::ScenarioLp;
-use crate::telemetry::{SharedTelemetry, TelemetrySnapshot};
-use crate::visual::VisualDisplayLp;
-use cod_cb::{CbError, ClassRegistry};
+use crate::backend::{build_backend, SimBackend};
+use crate::config::{FidelityTier, SimulatorConfig};
+use crate::instructor::FaultInjector;
+use crate::telemetry::{FrameDigest, SharedTelemetry, TelemetrySnapshot};
+use cod_cb::CbError;
 use crane_scene::course::Course;
 
 /// Summary of a completed (or interrupted) training session.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SessionReport {
-    /// Frames executed by the cluster executive.
+    /// Session frames executed (equals cluster frames on the Full tier).
     pub frames_run: u64,
     /// Final exam score.
     pub score: f64,
@@ -63,131 +59,32 @@ pub struct SessionReport {
     pub lan: LanStats,
 }
 
-/// The assembled simulator.
+/// The assembled simulator: a facade over the [`SimBackend`] selected by
+/// [`SimulatorConfig::tier`].
 pub struct CraneSimulator {
-    config: SimulatorConfig,
-    cluster: Cluster,
-    telemetry: SharedTelemetry,
-    fault_injector: FaultInjector,
-    registry: ClassRegistry,
-    fom: CraneFom,
-    display_count: usize,
-    barrier_overhead: Micros,
-    /// Simulation time at which sessions start (the end of CB initialization);
-    /// session resets rewind the whole cluster to this instant.
-    session_epoch: Micros,
+    backend: Box<dyn SimBackend>,
 }
 
 impl CraneSimulator {
-    /// Builds the full eight-computer deployment and runs the Communication
-    /// Backbone initialization phase.
+    /// Builds the deployment for the configured fidelity tier and runs the
+    /// Communication Backbone initialization phase.
     ///
     /// # Errors
     ///
     /// Returns an error if the configuration is invalid or a module fails to
     /// declare its publications and subscriptions.
     pub fn new(config: SimulatorConfig) -> Result<CraneSimulator, CbError> {
-        config.validate().map_err(CbError::Codec)?;
-        let (registry, fom) = CraneFom::standard();
-        let telemetry = SharedTelemetry::new();
+        Ok(CraneSimulator { backend: build_backend(config)? })
+    }
 
-        let cluster_config = ClusterConfig {
-            lan: LanConfig::fast_ethernet(config.seed),
-            frame_period: frame_period_for_fps(config.target_fps),
-            init_rounds: 120,
-        };
-        let mut cluster = Cluster::new(cluster_config, registry.clone());
-        let gpu = match config.gpu {
-            GpuGeneration::Tnt2 => GpuCostModel::tnt2_class(),
-            GpuGeneration::NextGeneration => GpuCostModel::next_generation(),
-        };
+    /// The fidelity tier serving this simulator.
+    pub fn tier(&self) -> FidelityTier {
+        self.backend.tier()
+    }
 
-        // The top of the rack: one computer per display channel.
-        for channel in 0..config.display_channels {
-            let pc =
-                cluster.add_computer_with_speed(&format!("display-{channel}"), config.cpu_speed);
-            cluster.add_lp(
-                pc,
-                Box::new(VisualDisplayLp::new(
-                    registry.clone(),
-                    fom,
-                    channel,
-                    config.display_channels,
-                    config.display_width,
-                    config.display_height,
-                    config.render_pixels,
-                    gpu,
-                    telemetry.clone(),
-                )),
-            )?;
-        }
-        // The fourth computer: the synchronization server.
-        let sync_pc = cluster.add_computer_with_speed("sync-server", config.cpu_speed);
-        cluster
-            .add_lp(sync_pc, Box::new(FrameSyncServer::new(fom.sync, config.display_channels)))?;
-
-        // The remaining computers host the other modules.
-        let dynamics_pc = cluster.add_computer_with_speed("dynamics-pc", config.cpu_speed);
-        cluster.add_lp(
-            dynamics_pc,
-            Box::new(DynamicsLp::new(
-                registry.clone(),
-                fom,
-                config.cargo_mass_kg,
-                telemetry.clone(),
-            )),
-        )?;
-
-        let control_pc = cluster.add_computer_with_speed("control-pc", config.cpu_speed);
-        let operator = make_operator(config.operator);
-        cluster.add_lp(
-            control_pc,
-            Box::new(DashboardLp::new(registry.clone(), fom, operator, telemetry.clone())),
-        )?;
-        cluster.add_lp(
-            control_pc,
-            Box::new(ScenarioLp::new(registry.clone(), fom, telemetry.clone())),
-        )?;
-
-        let instructor_pc = cluster.add_computer_with_speed("instructor-pc", config.cpu_speed);
-        let (instructor, fault_injector) =
-            InstructorLp::new(registry.clone(), fom, telemetry.clone());
-        cluster.add_lp(instructor_pc, Box::new(instructor))?;
-        cluster.add_lp(
-            instructor_pc,
-            Box::new(AudioLp::new(registry.clone(), fom, telemetry.clone())),
-        )?;
-
-        let motion_pc = cluster.add_computer_with_speed("motion-pc", config.cpu_speed);
-        cluster.add_lp(
-            motion_pc,
-            Box::new(MotionPlatformLp::new(
-                registry.clone(),
-                fom,
-                config.target_fps,
-                config.seed,
-                telemetry.clone(),
-            )),
-        )?;
-
-        let mut simulator = CraneSimulator {
-            config,
-            cluster,
-            telemetry,
-            fault_injector,
-            registry,
-            fom,
-            display_count: config.display_channels,
-            barrier_overhead: Micros::from_millis(3),
-            session_epoch: Micros::ZERO,
-        };
-        simulator.cluster.initialize()?;
-        // Every session — the first one included — starts from the canonical
-        // post-initialization state, so a recycled simulator replays a fresh
-        // one bit for bit.
-        simulator.session_epoch = simulator.cluster.now();
-        simulator.start_session(config.seed)?;
-        Ok(simulator)
+    /// Read access to the backend, for code that needs tier-specific detail.
+    pub fn backend(&self) -> &dyn SimBackend {
+        self.backend.as_ref()
     }
 
     /// Recycles the simulator for a new session without tearing down the
@@ -198,9 +95,9 @@ impl CraneSimulator {
     /// rewound to the canonical session start. The configuration keeps its
     /// topology; only the session seed changes.
     ///
-    /// Running `n` frames after this call produces a [`TelemetryTrace`]
-    /// bit-identical to a freshly built simulator with the same configuration
-    /// and seed running `n` frames.
+    /// Running `n` frames after this call produces a
+    /// [`crate::TelemetryTrace`] bit-identical to a freshly built simulator
+    /// with the same configuration and seed running `n` frames.
     ///
     /// Any fault plan installed for the previous session is removed; install
     /// the next session's plan after this call.
@@ -209,40 +106,35 @@ impl CraneSimulator {
     ///
     /// Returns the first error raised by a module's session reset.
     pub fn reset_for_session(&mut self, seed: u64) -> Result<(), CbError> {
-        self.start_session(seed)
-    }
-
-    fn start_session(&mut self, seed: u64) -> Result<(), CbError> {
-        self.config.seed = seed;
-        self.telemetry.reset();
-        self.cluster.begin_session(self.session_epoch, seed)
+        self.backend.reset_for_session(seed)
     }
 
     /// The configuration the simulator was built with.
     pub fn config(&self) -> &SimulatorConfig {
-        &self.config
+        self.backend.config()
     }
 
     /// The shared telemetry sink.
     pub fn telemetry(&self) -> &SharedTelemetry {
-        &self.telemetry
+        self.backend.telemetry()
     }
 
     /// The instructor's fault-injection console.
     pub fn fault_injector(&self) -> &FaultInjector {
-        &self.fault_injector
+        self.backend.fault_injector()
     }
 
     /// Number of computers in the rack.
     pub fn computer_count(&self) -> usize {
-        self.cluster.computer_count()
+        self.backend.cluster().computer_count()
     }
 
     /// The module placement: for each computer, its name and resident module names.
     pub fn rack_layout(&self) -> Vec<(String, Vec<String>)> {
-        (0..self.cluster.computer_count())
+        let cluster = self.backend.cluster();
+        (0..cluster.computer_count())
             .map(|i| {
-                let computer = self.cluster.computer(ComputerId(i));
+                let computer = cluster.computer(ComputerId(i));
                 (
                     computer.name().to_owned(),
                     computer.lp_names().iter().map(|s| (*s).to_owned()).collect(),
@@ -257,41 +149,45 @@ impl CraneSimulator {
     ///
     /// Returns the first error raised by a module or the backbone.
     pub fn run(&mut self) -> Result<(), CbError> {
-        let frames = self.config.exam_frames;
+        let frames = self.backend.config().exam_frames;
         self.run_frames(frames)
     }
 
-    /// Runs `frames` additional frames.
+    /// Runs `frames` additional session frames.
     ///
     /// # Errors
     ///
     /// Returns the first error raised by a module or the backbone.
     pub fn run_frames(&mut self, frames: usize) -> Result<(), CbError> {
-        self.cluster.run_frames(frames)
+        for _ in 0..frames {
+            self.backend.step_frame()?;
+        }
+        Ok(())
     }
 
-    /// Runs exactly one frame and returns its step-level record — the hook the
-    /// testkit uses to interleave trace recording and invariant checks with
-    /// the executive.
+    /// Runs exactly one session frame and returns its step-level record — the
+    /// hook the testkit uses to interleave trace recording and invariant
+    /// checks with the executive. On a decimating tier, skipped frames return
+    /// a zero-cost record.
     ///
     /// # Errors
     ///
     /// Returns the first error raised by a module or the backbone.
     pub fn step_frame(&mut self) -> Result<FrameRecord, CbError> {
-        self.cluster.run_frame()
+        self.backend.step_frame()
     }
 
     /// Read access to the underlying cluster (rack layout, metrics, kernels),
     /// used by invariant checkers to audit CB channel tables.
     pub fn cluster(&self) -> &Cluster {
-        &self.cluster
+        self.backend.cluster()
     }
 
     /// Installs a fault-injection plan on the cluster LAN. Usually called right
     /// after construction so the Communication Backbone initializes over a
     /// healthy network and the faults hit the running session.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        self.cluster.set_fault_plan(plan);
+        self.backend.set_fault_plan(plan);
     }
 
     /// Plugs an additional display channel into the running system — the
@@ -303,76 +199,23 @@ impl CraneSimulator {
     ///
     /// Returns an error if the new module fails to initialize.
     pub fn add_extra_display(&mut self) -> Result<(), CbError> {
-        let channel = self.display_count;
-        self.display_count += 1;
-        let gpu = match self.config.gpu {
-            GpuGeneration::Tnt2 => GpuCostModel::tnt2_class(),
-            GpuGeneration::NextGeneration => GpuCostModel::next_generation(),
-        };
-        let pc = self
-            .cluster
-            .add_computer_with_speed(&format!("display-{channel}"), self.config.cpu_speed);
-        self.cluster.add_lp(
-            pc,
-            Box::new(VisualDisplayLp::new(
-                self.registry.clone(),
-                self.fom,
-                channel,
-                self.display_count,
-                self.config.display_width,
-                self.config.display_height,
-                self.config.render_pixels,
-                gpu,
-                self.telemetry.clone(),
-            )),
-        )?;
-        Ok(())
+        self.backend.add_extra_display()
     }
 
     /// A snapshot of the raw telemetry.
     pub fn snapshot(&self) -> TelemetrySnapshot {
-        self.telemetry.snapshot()
+        self.backend.telemetry().snapshot()
+    }
+
+    /// A bit-exact digest of the current session state, in session-frame
+    /// terms (see [`SimBackend::telemetry_digest`]).
+    pub fn telemetry_digest(&self) -> FrameDigest {
+        self.backend.telemetry_digest()
     }
 
     /// Builds the session report from the telemetry and cluster metrics.
     pub fn report(&self) -> SessionReport {
-        let snap = self.telemetry.snapshot();
-        let metrics = self.cluster.metrics();
-        let frame_period = self.cluster.frame_period();
-
-        let slowest_channel =
-            snap.channel_frame_times.iter().copied().max().unwrap_or(Micros::ZERO);
-        let synchronized_period = if slowest_channel == Micros::ZERO {
-            Micros::ZERO
-        } else {
-            slowest_channel + self.barrier_overhead
-        };
-        let fps_of = |period: Micros| {
-            if period == Micros::ZERO {
-                0.0
-            } else {
-                1.0 / period.as_secs_f64()
-            }
-        };
-
-        SessionReport {
-            frames_run: metrics.frames_run,
-            score: snap.scenario.score,
-            phase: snap.scenario.phase.clone(),
-            passed: snap.scenario.passed,
-            bar_hits: snap.scenario.bar_hits,
-            collisions: snap.collisions.len(),
-            cluster_fps: metrics.achievable_fps(frame_period),
-            sequential_fps: metrics.sequential_fps(frame_period),
-            synchronized_fps: fps_of(synchronized_period),
-            free_running_fps: fps_of(slowest_channel),
-            channel_frame_times: snap.channel_frame_times.clone(),
-            max_hook_swing: snap.swing_history.iter().copied().fold(0.0, f64::max),
-            platform_saturated: snap.platform_saturated,
-            audio_rms: snap.audio_rms,
-            established_channels: self.cluster.established_channels(),
-            lan: self.cluster.lan_stats(),
-        }
+        self.backend.report()
     }
 
     /// The exam course in use (for operators and analysis code).
@@ -380,26 +223,20 @@ impl CraneSimulator {
         Course::licensing_exam()
     }
 
-    /// Mean modeled cost of running one frame of this whole session on a
-    /// single machine hosting the virtual cluster in-process — the placement
-    /// hint a serving layer uses to predict shard load. Zero until a frame
-    /// has run.
+    /// Mean modeled cost of running one session frame of this whole session
+    /// on a single machine hosting the virtual cluster in-process — the
+    /// placement hint a serving layer uses to predict shard load. Zero until
+    /// a frame has run. Tier-specific: a Coarse session reports its decimated
+    /// cost.
     pub fn session_cost_hint(&self) -> Micros {
-        self.cluster.metrics().mean_sequential_frame_cost()
-    }
-}
-
-fn make_operator(kind: OperatorKind) -> Box<dyn Operator> {
-    match kind {
-        OperatorKind::Exam => Box::new(ExamOperator::new(Course::licensing_exam())),
-        OperatorKind::Idle => Box::new(IdleOperator),
-        OperatorKind::Reckless => Box::new(RecklessOperator::default()),
+        self.backend.session_cost_hint()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::OperatorKind;
 
     fn quick_config(operator: OperatorKind, frames: usize) -> SimulatorConfig {
         SimulatorConfig {
@@ -414,12 +251,24 @@ mod tests {
     #[test]
     fn builds_the_eight_computer_rack_of_the_paper() {
         let simulator = CraneSimulator::new(quick_config(OperatorKind::Idle, 10)).unwrap();
+        assert_eq!(simulator.tier(), FidelityTier::Full);
         assert_eq!(simulator.computer_count(), 8);
         let layout = simulator.rack_layout();
         let module_count: usize = layout.iter().map(|(_, lps)| lps.len()).sum();
         // Seven modules of Figure 3 (visual appears three times) plus the sync server.
         assert_eq!(module_count, 3 + 1 + 1 + 2 + 2 + 1);
         assert!(simulator.report().established_channels > 10, "CB discovery incomplete");
+    }
+
+    #[test]
+    fn coarse_tier_builds_a_smaller_rack_behind_the_same_facade() {
+        let config =
+            SimulatorConfig { tier: FidelityTier::Coarse, ..quick_config(OperatorKind::Idle, 10) };
+        let simulator = CraneSimulator::new(config).unwrap();
+        assert_eq!(simulator.tier(), FidelityTier::Coarse);
+        // One display channel instead of three: six computers, not eight.
+        assert_eq!(simulator.computer_count(), 6);
+        assert_eq!(simulator.config().tier, FidelityTier::Coarse);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Fleet serving: dozens of concurrent crane-simulator sessions on a pool of
 //! *unequal* shards — priority admission with preemption, speed-weighted
-//! placement, live session migration, batched stepping and simulator
+//! placement, live session migration, fidelity tiering and simulator
 //! recycling, end to end.
 //!
 //! ```text
@@ -19,6 +19,7 @@ fn main() {
         placement: PlacementPolicy::SpeedWeighted,
         preemption: true,
         migration: true,
+        tiering: true,
         max_pending: 16,
         workload: WorkloadConfig {
             sessions: 48,
@@ -41,7 +42,9 @@ fn main() {
         config.shard.batch_frames,
         config.max_pending
     );
-    println!("policies: speed-weighted placement, preemption on, live migration on\n");
+    println!(
+        "policies: speed-weighted placement, preemption on, live migration on, fidelity tiering on\n"
+    );
 
     let outcome = run_fleet(&config).expect("fleet drains");
     let report = cod_fleet::FleetReport::from_outcome(&outcome);
@@ -50,7 +53,7 @@ fn main() {
     println!("\nfirst and last sessions through the door:");
     for s in outcome.sessions.iter().take(3).chain(outcome.sessions.iter().rev().take(2).rev()) {
         println!(
-            "  {:<32} shard {} | arrived t{:<3} done t{:<3} | {} frames | score {:>5.1}{}{}",
+            "  {:<32} shard {} | arrived t{:<3} done t{:<3} | {} frames | score {:>5.1}{}{}{}",
             s.name,
             s.shard,
             s.arrived_tick,
@@ -59,6 +62,7 @@ fn main() {
             s.score,
             if s.preempted > 0 { " | preempted" } else { "" },
             if s.migrated > 0 { " | migrated" } else { "" },
+            if s.demoted > 0 { " | demoted" } else { "" },
         );
     }
 
@@ -69,9 +73,12 @@ fn main() {
         outcome.completed, built, recycled
     );
     println!(
-        "{} preemptions, {} live migrations; interactive p95 {:.1} ticks vs batch p95 {:.1}",
+        "{} preemptions, {} live migrations, {} promotions, {} demotions; interactive p95 {:.1} \
+         ticks vs batch p95 {:.1}",
         outcome.preempted,
         outcome.migrated,
+        outcome.promoted,
+        outcome.demoted,
         outcome.latency_percentile_ticks_for(Some(Priority::Interactive), 95.0),
         outcome.latency_percentile_ticks_for(Some(Priority::Batch), 95.0),
     );

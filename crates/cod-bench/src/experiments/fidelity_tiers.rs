@@ -11,7 +11,9 @@
 //! specs, and the throughput multiplier a bursty fleet gets from serving
 //! its coarse-eligible classes on the cheap tier with live retiering.
 
-use cod_fleet::{generate, run_fleet, FleetConfig, PlacementPolicy, ShardConfig, WorkloadConfig};
+use cod_fleet::{
+    generate, run_fleet, ExecutionMode, FleetConfig, PlacementPolicy, ShardConfig, WorkloadConfig,
+};
 use crane_sim::{CraneSimulator, FidelityTier, SCORE_DRIFT_TOLERANCE};
 
 use super::ExperimentCtx;
@@ -43,7 +45,7 @@ fn burst_config(tiering: bool) -> FleetConfig {
             base_frames: 32,
             mean_interarrival_ticks: 0,
         },
-        parallel: false,
+        execution: ExecutionMode::Modeled,
     }
 }
 

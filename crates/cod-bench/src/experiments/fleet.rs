@@ -8,7 +8,7 @@
 //! is accounted in modeled time, so the scaling numbers are deterministic;
 //! the `fleet_report` binary gates the 1 → 4 shard scaling at >= 2x.
 
-use cod_fleet::{run_fleet, FleetConfig, ShardConfig, WorkloadConfig};
+use cod_fleet::{run_fleet, ExecutionMode, FleetConfig, ShardConfig, WorkloadConfig};
 
 use super::ExperimentCtx;
 use crate::measure::measure;
@@ -25,7 +25,7 @@ fn config(shards: usize, sessions: usize) -> FleetConfig {
         shard: ShardConfig { slots: 4, batch_frames: 8, pool_per_shape: 2 },
         max_pending: 16,
         workload: workload(sessions),
-        parallel: false,
+        execution: ExecutionMode::Modeled,
         ..FleetConfig::quick(shards, 0)
     }
 }

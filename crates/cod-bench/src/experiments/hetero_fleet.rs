@@ -11,7 +11,9 @@
 //! are deterministic; `fleet_report --quick` gates speed-weighted >
 //! residency-only on every CI run.
 
-use cod_fleet::{run_fleet, FleetConfig, PlacementPolicy, ShardConfig, WorkloadConfig};
+use cod_fleet::{
+    run_fleet, ExecutionMode, FleetConfig, PlacementPolicy, ShardConfig, WorkloadConfig,
+};
 
 use super::ExperimentCtx;
 use crate::measure::measure;
@@ -37,7 +39,7 @@ fn config(sessions: usize, placement: PlacementPolicy, aware: bool) -> FleetConf
             base_frames: 24,
             mean_interarrival_ticks: 1,
         },
-        parallel: false,
+        execution: ExecutionMode::Modeled,
     }
 }
 

@@ -19,6 +19,7 @@ pub mod init_protocol;
 pub mod platform;
 pub mod routing;
 pub mod sync_overhead;
+pub mod wallclock;
 
 use crate::measure::MeasureConfig;
 use crate::report::ExperimentResult;
@@ -70,5 +71,6 @@ pub fn all(ctx: &ExperimentCtx) -> Vec<ExperimentResult> {
         fleet::run(ctx),
         hetero_fleet::run(ctx),
         fidelity_tiers::run(ctx),
+        wallclock::run(ctx),
     ]
 }

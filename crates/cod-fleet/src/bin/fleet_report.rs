@@ -20,6 +20,16 @@
 //!    door at once) served all-Full and then with fidelity tiering on —
 //!    same rack, same seed, only the tiering policy differs.
 //!
+//! With `--wallclock`, the headline fleet run is additionally served under
+//! the work-stealing executor at 1 and 4 worker threads
+//! ([`cod_fleet::ExecutionMode::WallClock`]): the two runs' reports must be
+//! byte-identical to the headline report (thread scheduling must never leak
+//! into the deterministic output), and — on runners with at least 4 cores —
+//! real sessions/sec must scale by at least [`WALLCLOCK_SCALING_FLOOR`]x
+//! from 1 to 4 threads. On smaller machines the scaling gate downgrades to
+//! an informational line (no amount of work stealing buys real parallelism
+//! without cores); the byte-identity gate always applies.
+//!
 //! Exits non-zero if the homogeneous scaling drops below 2x, if the
 //! speed-weighted heterogeneous run does not strictly beat the
 //! residency-only one (the E10 gate), if the aware run never migrates, if
@@ -37,21 +47,31 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use cod_fleet::{
-    document, run_fleet, FleetConfig, FleetReport, PlacementPolicy, Priority, TieredSection,
+    document, run_fleet, run_fleet_timed, ExecutionMode, FleetConfig, FleetReport, PlacementPolicy,
+    Priority, TieredSection,
 };
 use crane_sim::SCORE_DRIFT_TOLERANCE;
 
 /// Minimum acceptable sessions/sec scaling from one shard to the full fleet.
 const SCALING_FLOOR: f64 = 2.0;
 
+/// Minimum acceptable *wall-clock* sessions/sec scaling from 1 to 4 executor
+/// threads under `--wallclock`. Deliberately conservative: shard batches are
+/// coarse and the workload small, so perfect 4x is never on the table, and
+/// small CI runners share cores with the rest of the job — 1.5x is the floor
+/// real parallelism must clear, not a target.
+const WALLCLOCK_SCALING_FLOOR: f64 = 1.5;
+
 /// Minimum acceptable modeled-capacity multiplier of the tiered run over the
 /// all-Full run on the same rack and seed.
 const TIERED_CAPACITY_FLOOR: f64 = 2.0;
 
-const USAGE: &str = "usage: fleet_report [--quick] [--seed N] [--shards N] [--out PATH]";
+const USAGE: &str =
+    "usage: fleet_report [--quick] [--wallclock] [--seed N] [--shards N] [--out PATH]";
 
 struct Args {
     quick: bool,
+    wallclock: bool,
     seed: u64,
     shards: usize,
     out: String,
@@ -59,12 +79,19 @@ struct Args {
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args =
-        Args { quick: false, seed: 0xC0D, shards: 4, out: "FLEET_cod.json".into(), help: false };
+    let mut args = Args {
+        quick: false,
+        wallclock: false,
+        seed: 0xC0D,
+        shards: 4,
+        out: "FLEET_cod.json".into(),
+        help: false,
+    };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--quick" => args.quick = true,
+            "--wallclock" => args.wallclock = true,
             "--seed" => {
                 args.seed = argv
                     .next()
@@ -372,6 +399,69 @@ fn main() -> ExitCode {
             "tiered final-score drift {:.2} within tolerance {:.1} — ok",
             tiered.max_score_drift, SCORE_DRIFT_TOLERANCE
         );
+    }
+
+    // Wall-clock gates (--wallclock): the work-stealing executor must
+    // reproduce the headline fleet report byte for byte at any thread count,
+    // and — given cores to run on — real sessions/sec must scale with worker
+    // threads. Byte identity is checked unconditionally; the scaling floor
+    // only applies on 4+-core machines, because no executor can conjure
+    // parallel speedup out of a single core.
+    if args.wallclock {
+        let reference = fleet.to_json().to_pretty();
+        let mut wall_sps = Vec::new();
+        for threads in [1usize, 4] {
+            let config = FleetConfig {
+                execution: ExecutionMode::WallClock { threads },
+                ..make_config(args.shards)
+            };
+            let (outcome, stats) = match run_fleet_timed(&config) {
+                Ok(pair) => pair,
+                Err(err) => {
+                    return die(&format!("wall-clock run ({threads} threads) failed: {err}"))
+                }
+            };
+            let bytes = FleetReport::from_outcome(&outcome).to_json().to_pretty();
+            if bytes != reference {
+                eprintln!(
+                    "REGRESSION: the wall-clock report at {threads} threads diverges from the \
+                     headline fleet report — thread scheduling leaked into the deterministic \
+                     output"
+                );
+                failed = true;
+            }
+            let sps = stats.sessions_per_wall_sec(outcome.completed);
+            println!(
+                "wall-clock {threads} thread(s): {sps:.1} sessions/s real ({:.2?} wall, {} \
+                 ticks) — report byte-identical: {}",
+                stats.wall,
+                stats.ticks,
+                if bytes == reference { "yes" } else { "NO" },
+            );
+            wall_sps.push(sps);
+        }
+        let scaling = wall_sps[1] / wall_sps[0].max(1e-12);
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        if cores >= 4 {
+            if scaling < WALLCLOCK_SCALING_FLOOR {
+                eprintln!(
+                    "REGRESSION: wall-clock scaling {scaling:.2}x (1 -> 4 threads) fell below \
+                     the {WALLCLOCK_SCALING_FLOOR:.1}x floor on a {cores}-core machine"
+                );
+                failed = true;
+            } else {
+                println!(
+                    "wall-clock scaling 1 -> 4 threads: {scaling:.2}x (floor \
+                     {WALLCLOCK_SCALING_FLOOR:.1}x) — ok"
+                );
+            }
+        } else {
+            println!(
+                "wall-clock scaling 1 -> 4 threads: {scaling:.2}x measured, but only {cores} \
+                 core(s) available — the {WALLCLOCK_SCALING_FLOOR:.1}x floor applies on 4+-core \
+                 runners"
+            );
+        }
     }
 
     if failed {

@@ -6,9 +6,11 @@
 //! backpressure), queued sessions are placed most-urgent-class-first onto the
 //! least-loaded shards with free slots, and every shard then advances each of
 //! its resident sessions by one batch of executive frames. Shards are
-//! independent, so the stepping fans out across OS threads when asked to;
-//! results are folded back in shard order, which keeps the outcome
-//! bit-identical whether the run was parallel or not.
+//! independent, so the stepping runs under the configured [`ExecutionMode`]:
+//! sequentially on the caller's thread, on one scoped OS thread per shard, or
+//! on the work-stealing pool of [`crate::executor::WallClockExecutor`].
+//! Results are folded back in shard order either way, which keeps the outcome
+//! bit-identical across every mode and thread count.
 //!
 //! Three optional mechanisms make the fleet heterogeneity- and
 //! priority-aware:
@@ -31,15 +33,60 @@
 //! Throughput and utilization are accounted in *modeled* time (the same
 //! modeled CPU costs the cluster executive already records), so a fleet run
 //! is a pure function of its configuration: same seed, same report, byte for
-//! byte — preemption and migration included.
+//! byte — preemption and migration included. Wall-clock timings are measured
+//! beside that deterministic outcome, never inside it: [`run_fleet_timed`]
+//! returns them as a separate [`WallClockStats`], so real elapsed time — the
+//! one quantity that legitimately varies run to run — can be reported without
+//! ever touching the fingerprinted output.
+
+use std::time::{Duration, Instant};
 
 use cod_cb::CbError;
 use cod_net::Micros;
 use crane_sim::FidelityTier;
 
 use crate::admission::{AdmissionConfig, AdmissionState};
+use crate::executor::{TickResult, WallClockExecutor};
 use crate::shard::{Completed, PortableSession, Shard, ShardConfig, ShardStats};
 use crate::workload::{coarse_eligible, generate, initial_tier, Priority, WorkloadConfig};
+
+/// How shard batches are executed each tick.
+///
+/// The mode decides *who* steps the shards and how real time is spent — never
+/// what the shards compute or the order their results are folded in, so the
+/// [`FleetOutcome`] (and therefore `FLEET_cod.json`) is bit-identical across
+/// every mode and thread count for the same configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// Step shards sequentially on the caller's thread. The pure modeled-time
+    /// mode: zero threading overhead, the baseline every other mode must
+    /// reproduce bit for bit.
+    #[default]
+    Modeled,
+    /// The legacy fan-out: one scoped OS thread per shard, spawned and joined
+    /// every tick. Kept as the reference parallel implementation (and for its
+    /// panic-on-join regression coverage); superseded by
+    /// [`ExecutionMode::WallClock`] for real throughput measurements.
+    ThreadPerShard,
+    /// The wall-clock engine: a work-stealing pool of `threads` pinned worker
+    /// threads (spawned once per run) pulling shard-batch tasks through a
+    /// lock-free injector. The mode to measure real sessions/sec under.
+    WallClock {
+        /// Worker threads in the pool (clamped to at least one).
+        threads: usize,
+    },
+}
+
+impl ExecutionMode {
+    /// Worker threads this mode steps `shards` shards with.
+    pub fn threads_for(&self, shards: usize) -> usize {
+        match *self {
+            ExecutionMode::Modeled => 1,
+            ExecutionMode::ThreadPerShard => shards.max(1),
+            ExecutionMode::WallClock { threads } => threads.max(1),
+        }
+    }
+}
 
 /// How the fleet weighs shards when placing a queued session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -80,8 +127,9 @@ pub struct FleetConfig {
     pub tiering: bool,
     /// The session workload.
     pub workload: WorkloadConfig,
-    /// Step shards on OS threads (the outcome is identical either way).
-    pub parallel: bool,
+    /// How shard batches are executed (the outcome is identical under every
+    /// mode; only wall-clock time differs).
+    pub execution: ExecutionMode,
 }
 
 impl FleetConfig {
@@ -98,7 +146,7 @@ impl FleetConfig {
             max_pending: 16,
             tiering: false,
             workload: WorkloadConfig::quick(seed),
-            parallel: true,
+            execution: ExecutionMode::ThreadPerShard,
         }
     }
 
@@ -114,7 +162,7 @@ impl FleetConfig {
             max_pending: 32,
             tiering: false,
             workload: WorkloadConfig::full(seed),
-            parallel: true,
+            execution: ExecutionMode::ThreadPerShard,
         }
     }
 
@@ -172,6 +220,10 @@ pub struct SessionOutcome {
     pub passed: bool,
     /// Modeled cost the session charged its final shard.
     pub cost: Micros,
+    /// FNV-1a fingerprint of the session's final telemetry digest — the
+    /// physics-state witness determinism tests compare across execution
+    /// modes and thread counts.
+    pub telemetry: u64,
 }
 
 impl SessionOutcome {
@@ -345,6 +397,37 @@ fn next_queued(queue: &[QueueEntry]) -> Option<usize> {
         .map(|(i, _)| i)
 }
 
+/// Wall-clock timings of one fleet run, measured with [`Instant`] and
+/// reported *beside* the deterministic [`FleetOutcome`] — never inside it.
+/// The outcome derives `PartialEq` and is compared byte for byte across
+/// execution modes; real elapsed time legitimately varies run to run, so it
+/// lives here, excluded from every fingerprint by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WallClockStats {
+    /// Real time of the whole run: admission, placement, stepping, folding.
+    pub wall: Duration,
+    /// Real time spent inside shard batch stepping (the part the execution
+    /// mode parallelizes).
+    pub stepping_wall: Duration,
+    /// Worker threads the execution mode stepped shards with.
+    pub threads: usize,
+    /// Fleet ticks executed.
+    pub ticks: u64,
+}
+
+impl WallClockStats {
+    /// Completed sessions per second of real time — the wall-clock
+    /// counterpart of [`FleetOutcome::sessions_per_sec`].
+    pub fn sessions_per_wall_sec(&self, completed: u64) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            completed as f64 / secs
+        }
+    }
+}
+
 /// Runs a whole fleet to drain: all arrivals offered, every admitted session
 /// completed. A pure function of the configuration — running it twice yields
 /// identical [`FleetOutcome`]s.
@@ -353,6 +436,24 @@ fn next_queued(queue: &[QueueEntry]) -> Option<usize> {
 ///
 /// Returns the first hard error raised by any session's executive.
 pub fn run_fleet(config: &FleetConfig) -> Result<FleetOutcome, CbError> {
+    run_fleet_timed(config).map(|(outcome, _)| outcome)
+}
+
+/// [`run_fleet`] plus the run's wall-clock timings. The outcome is the same
+/// pure function of the configuration; the [`WallClockStats`] are the only
+/// part that varies run to run, which is exactly why they are returned as a
+/// separate value instead of a field of the outcome.
+///
+/// # Errors
+///
+/// Returns the first hard error raised by any session's executive.
+pub fn run_fleet_timed(config: &FleetConfig) -> Result<(FleetOutcome, WallClockStats), CbError> {
+    let run_started = Instant::now();
+    let mut stepping_wall = Duration::ZERO;
+    let executor = match config.execution {
+        ExecutionMode::WallClock { threads } => Some(WallClockExecutor::new(threads)),
+        _ => None,
+    };
     let arrivals = generate(&config.workload);
     let mut admission = AdmissionState::new(AdmissionConfig {
         shards: config.shards,
@@ -480,8 +581,10 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetOutcome, CbError> {
             retier_tick(&admission, &mut shards, &mut resume_busy)?;
         }
 
-        // 4. Batch-step every shard; fan out across threads when asked to.
-        let results = step_all(&mut shards, config.parallel)?;
+        // 4. Batch-step every shard under the configured execution mode.
+        let step_started = Instant::now();
+        let results = step_all(&mut shards, config.execution, executor.as_ref())?;
+        stepping_wall += step_started.elapsed();
 
         // 5. Fold the results back in shard order (determinism) and account
         //    the tick at the critical shard's cost, replays included.
@@ -511,7 +614,13 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetOutcome, CbError> {
     debug_assert!(admission.violations().is_empty(), "{:?}", admission.violations());
     let promoted = shards.iter().map(|s| s.stats.promoted).sum();
     let demoted = shards.iter().map(|s| s.stats.demoted).sum();
-    Ok(FleetOutcome {
+    let stats = WallClockStats {
+        wall: run_started.elapsed(),
+        stepping_wall,
+        threads: config.execution.threads_for(config.shards),
+        ticks: tick,
+    };
+    let outcome = FleetOutcome {
         config: config.clone(),
         ticks_run: tick,
         elapsed_modeled: elapsed,
@@ -527,7 +636,8 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetOutcome, CbError> {
         peak_pending: admission.peak_pending,
         sessions,
         shard_stats: shards.into_iter().map(|s| s.stats).collect(),
-    })
+    };
+    Ok((outcome, stats))
 }
 
 /// The per-tick retier policy of a tiering fleet: shed fidelity before
@@ -643,21 +753,29 @@ fn session_outcome(done: Completed, tick: u64, shard: usize) -> SessionOutcome {
         score: done.report.score,
         passed: done.report.passed,
         cost: done.cost,
+        telemetry: done.telemetry,
     }
 }
 
-type TickResult = (Vec<Completed>, Micros);
-
-/// Steps every shard once; sequentially, or on one OS thread per shard.
-fn step_all(shards: &mut [Shard], parallel: bool) -> Result<Vec<TickResult>, CbError> {
-    if !parallel || shards.len() <= 1 {
-        return shards.iter_mut().map(Shard::step_batch).collect();
+/// Steps every shard once under the configured execution mode: sequentially,
+/// on one scoped OS thread per shard, or across the work-stealing pool.
+/// Results come back in shard order under every mode.
+fn step_all(
+    shards: &mut Vec<Shard>,
+    mode: ExecutionMode,
+    executor: Option<&WallClockExecutor>,
+) -> Result<Vec<TickResult>, CbError> {
+    match mode {
+        ExecutionMode::WallClock { .. } => {
+            executor.expect("a wall-clock run carries its executor").step_shards(shards)
+        }
+        ExecutionMode::ThreadPerShard if shards.len() > 1 => std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                shards.iter_mut().map(|shard| scope.spawn(move || shard.step_batch())).collect();
+            handles.into_iter().map(|h| h.join().expect("shard thread panicked")).collect()
+        }),
+        _ => shards.iter_mut().map(Shard::step_batch).collect(),
     }
-    std::thread::scope(|scope| {
-        let handles: Vec<_> =
-            shards.iter_mut().map(|shard| scope.spawn(move || shard.step_batch())).collect();
-        handles.into_iter().map(|h| h.join().expect("shard thread panicked")).collect()
-    })
 }
 
 #[cfg(test)]
@@ -680,7 +798,7 @@ mod tests {
                 base_frames: 16,
                 mean_interarrival_ticks: 1,
             },
-            parallel: false,
+            execution: ExecutionMode::Modeled,
         }
     }
 
@@ -709,16 +827,70 @@ mod tests {
     }
 
     #[test]
-    fn parallel_and_sequential_stepping_agree() {
+    fn every_execution_mode_reproduces_the_modeled_outcome() {
         let mut config = tiny_config(3, 17);
-        let sequential = run_fleet(&config).unwrap();
-        config.parallel = true;
-        let parallel = run_fleet(&config).unwrap();
-        // The configs differ only in the `parallel` flag; everything else
-        // must be identical.
-        assert_eq!(sequential.sessions, parallel.sessions);
-        assert_eq!(sequential.elapsed_modeled, parallel.elapsed_modeled);
-        assert_eq!(sequential.shard_stats, parallel.shard_stats);
+        let modeled = run_fleet(&config).unwrap();
+        let modes = [
+            ExecutionMode::ThreadPerShard,
+            ExecutionMode::WallClock { threads: 1 },
+            ExecutionMode::WallClock { threads: 2 },
+            ExecutionMode::WallClock { threads: 4 },
+        ];
+        for mode in modes {
+            config.execution = mode;
+            let run = run_fleet(&config).unwrap();
+            // The configs differ only in the execution mode; everything the
+            // mode could possibly perturb must be identical.
+            assert_eq!(modeled.sessions, run.sessions, "sessions diverged under {mode:?}");
+            assert_eq!(modeled.elapsed_modeled, run.elapsed_modeled);
+            assert_eq!(modeled.shard_stats, run.shard_stats);
+        }
+    }
+
+    #[test]
+    fn timed_runs_report_wall_clock_beside_the_outcome() {
+        let mut config = tiny_config(2, 17);
+        config.execution = ExecutionMode::WallClock { threads: 2 };
+        let (outcome, stats) = run_fleet_timed(&config).unwrap();
+        assert_eq!(stats.threads, 2);
+        assert_eq!(stats.ticks, outcome.ticks_run);
+        assert!(stats.wall > Duration::ZERO, "a drained fleet took real time");
+        assert!(stats.stepping_wall <= stats.wall, "stepping is a slice of the whole run");
+        assert!(stats.sessions_per_wall_sec(outcome.completed) > 0.0);
+        // The timings live beside the outcome, never in it: the outcome of a
+        // timed run equals the outcome of an untimed one, field for field.
+        assert_eq!(outcome, run_fleet(&config).unwrap());
+    }
+
+    #[test]
+    fn thread_per_shard_panic_surfaces_as_a_failed_join() {
+        // Regression: the `.expect("shard thread panicked")` join branch of
+        // the scoped fan-out was uncovered — a worker panic must abort the
+        // tick with that message, not hang or vanish.
+        for mode in [ExecutionMode::ThreadPerShard, ExecutionMode::WallClock { threads: 2 }] {
+            let mut shards: Vec<Shard> =
+                (0..2).map(|i| Shard::new(i, ShardConfig::default(), 1.0)).collect();
+            shards[1].poison_for_test = true;
+            let executor = match mode {
+                ExecutionMode::WallClock { threads } => Some(WallClockExecutor::new(threads)),
+                _ => None,
+            };
+            let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                step_all(&mut shards, mode, executor.as_ref())
+            }))
+            .expect_err("a poisoned shard must panic the tick");
+            // The scoped join's `.expect` carries a formatted String payload;
+            // the executor re-panics with a &str — accept either shape.
+            let message = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            assert!(
+                message.contains("shard thread panicked"),
+                "wrong panic under {mode:?}: {message:?}"
+            );
+        }
     }
 
     #[test]
@@ -927,14 +1099,67 @@ mod tests {
         let mut small = config.clone();
         small.workload.sessions = 16;
         small.workload.mean_interarrival_ticks = 0;
-        small.parallel = false;
+        small.execution = ExecutionMode::Modeled;
         let a = run_fleet(&small).unwrap();
         let b = run_fleet(&small).unwrap();
         assert_eq!(a, b);
-        let mut parallel = small.clone();
-        parallel.parallel = true;
-        let c = run_fleet(&parallel).unwrap();
+        let mut threaded = small.clone();
+        threaded.execution = ExecutionMode::ThreadPerShard;
+        let c = run_fleet(&threaded).unwrap();
         assert_eq!(a.sessions, c.sessions);
         assert_eq!(a.elapsed_modeled, c.elapsed_modeled);
+        let mut pooled = small.clone();
+        pooled.execution = ExecutionMode::WallClock { threads: 3 };
+        let d = run_fleet(&pooled).unwrap();
+        assert_eq!(a.sessions, d.sessions);
+        assert_eq!(a.elapsed_modeled, d.elapsed_modeled);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+        /// Whatever the schedule — random seeds, thread counts, shard counts,
+        /// arrival pacing, preemption on or off — interleaving admission
+        /// hand-off with shard stepping under the work-stealing executor
+        /// preserves the conservation ledger and reproduces the modeled run
+        /// bit for bit.
+        #[test]
+        fn prop_executor_interleaving_preserves_the_conservation_ledger(
+            seed in 0u64..(1 << 32),
+            threads in 1usize..5,
+            shards in 1usize..4,
+            preemption in any::<bool>(),
+            interarrival in 0u64..3,
+        ) {
+            let mut config = tiny_config(shards, seed);
+            config.workload.sessions = 6;
+            config.workload.base_frames = 12;
+            config.workload.mean_interarrival_ticks = interarrival;
+            config.preemption = preemption;
+            config.max_pending = 3; // tight queue: some schedules also reject
+            let modeled = run_fleet(&config).unwrap();
+            config.execution = ExecutionMode::WallClock { threads };
+            let pooled = run_fleet(&config).unwrap();
+            // The admission ledger balances (the queue is empty after a
+            // drain, so pending drops out of the invariant):
+            // offered + preempted = admitted + rejected + pending.
+            prop_assert_eq!(
+                pooled.offered + pooled.preempted,
+                pooled.admitted + pooled.rejected
+            );
+            prop_assert_eq!(pooled.admitted, pooled.completed + pooled.preempted);
+            prop_assert_eq!(pooled.rejected_with_free_slot, 0);
+            // And the executor run is the modeled run, bit for bit.
+            prop_assert_eq!(&modeled.sessions, &pooled.sessions);
+            prop_assert_eq!(modeled.elapsed_modeled, pooled.elapsed_modeled);
+            prop_assert_eq!(&modeled.shard_stats, &pooled.shard_stats);
+            prop_assert_eq!(
+                (modeled.offered, modeled.admitted, modeled.completed, modeled.rejected,
+                 modeled.preempted, modeled.peak_pending),
+                (pooled.offered, pooled.admitted, pooled.completed, pooled.rejected,
+                 pooled.preempted, pooled.peak_pending)
+            );
+        }
     }
 }

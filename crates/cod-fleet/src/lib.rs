@@ -20,14 +20,22 @@
 //!   resident can be serialized to a [`shard::PortableSession`] and resumed
 //!   anywhere by deterministic replay.
 //! * [`fleet`] — the tick-driven executive: offer, place (residency- or
-//!   speed-weighted), preempt, migrate, batch-step all shards (optionally on
-//!   OS threads), retire; deterministic by construction, accounted in modeled
-//!   time.
+//!   speed-weighted), preempt, migrate, batch-step all shards under the
+//!   configured [`fleet::ExecutionMode`], retire; deterministic by
+//!   construction, accounted in modeled time.
+//! * [`executor`] — the wall-clock engine: a work-stealing pool of pinned
+//!   worker threads stepping shard batches in real time, with the results
+//!   merged in shard order so any thread count reproduces the modeled run
+//!   bit for bit. [`fleet::run_fleet_timed`] reports the real elapsed time
+//!   beside (never inside) the deterministic outcome.
 //! * [`report`] — `FLEET_cod.json`, byte-identical across runs of the same
-//!   seed.
+//!   seed — and, by the merge-order guarantee, across execution modes and
+//!   thread counts too.
 //!
 //! ```
-//! use cod_fleet::{run_fleet, FleetConfig, PlacementPolicy, ShardConfig, WorkloadConfig};
+//! use cod_fleet::{
+//!     run_fleet_timed, ExecutionMode, FleetConfig, PlacementPolicy, ShardConfig, WorkloadConfig,
+//! };
 //!
 //! let config = FleetConfig {
 //!     shards: 2,
@@ -39,21 +47,28 @@
 //!     tiering: true,
 //!     max_pending: 4,
 //!     workload: WorkloadConfig { sessions: 3, seed: 7, base_frames: 10, mean_interarrival_ticks: 1 },
-//!     parallel: false,
+//!     execution: ExecutionMode::WallClock { threads: 2 },
 //! };
-//! let outcome = run_fleet(&config).expect("fleet drains");
+//! let (outcome, wall) = run_fleet_timed(&config).expect("fleet drains");
 //! assert_eq!(outcome.offered, 3);
 //! assert_eq!(outcome.completed + outcome.rejected, 3);
+//! assert_eq!(wall.threads, 2);
+//! assert!(wall.sessions_per_wall_sec(outcome.completed) > 0.0);
 //! ```
 
 pub mod admission;
+pub mod executor;
 pub mod fleet;
 pub mod report;
 pub mod shard;
 pub mod workload;
 
 pub use admission::{AdmissionConfig, AdmissionState};
-pub use fleet::{run_fleet, FleetConfig, FleetOutcome, PlacementPolicy, SessionOutcome};
+pub use executor::WallClockExecutor;
+pub use fleet::{
+    run_fleet, run_fleet_timed, ExecutionMode, FleetConfig, FleetOutcome, PlacementPolicy,
+    SessionOutcome, WallClockStats,
+};
 pub use report::{document, FleetReport, ShardRow, TieredSection, SCHEMA};
 pub use shard::{Completed, PortableSession, SessionShape, Shard, ShardConfig, ShardStats};
 pub use workload::{

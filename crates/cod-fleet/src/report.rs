@@ -19,7 +19,13 @@ use crate::workload::Priority;
 /// speeds, interpolated latency percentiles.
 /// v3: fidelity tiers — per-tier completion counts, p95s and mean scores,
 /// promotion/demotion counters, and the tiered-capacity document section.
-pub const SCHEMA: &str = "cod-fleet-v3";
+/// v4: each session's final telemetry-digest fingerprint folded into the
+/// report fingerprint, so two runs only match when every session's physics
+/// state matched frame for frame — the witness the determinism-under-threads
+/// gate compares across execution modes. Wall-clock timings stay out of the
+/// report entirely: they vary run to run by nature, and fingerprinting them
+/// would break the byte-identity guarantee the gate exists to enforce.
+pub const SCHEMA: &str = "cod-fleet-v4";
 
 /// Per-shard row of the report: speed, utilization and counters.
 #[derive(Debug, Clone, PartialEq)]
@@ -151,6 +157,7 @@ impl FleetReport {
             h.write_u64(s.score.to_bits());
             h.write_u64(s.passed as u64);
             h.write_u64(s.cost.0);
+            h.write_u64(s.telemetry);
         }
         h.write_u64(outcome.rejected);
         h.write_u64(outcome.preempted);
@@ -487,7 +494,7 @@ pub fn document(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fleet::{run_fleet, FleetConfig};
+    use crate::fleet::{run_fleet, ExecutionMode, FleetConfig};
     use crate::shard::ShardConfig;
     use crate::workload::WorkloadConfig;
 
@@ -507,9 +514,25 @@ mod tests {
                 base_frames: 12,
                 mean_interarrival_ticks: 1,
             },
-            parallel: false,
+            execution: ExecutionMode::Modeled,
         })
         .unwrap()
+    }
+
+    #[test]
+    fn every_execution_mode_serializes_to_identical_bytes() {
+        // The report carries no execution-mode or wall-clock field, so the
+        // bytes cannot depend on who stepped the shards — the invariant the
+        // `--wallclock` gate and the determinism stress test lean on.
+        let mut config = outcome().config;
+        let modeled = FleetReport::from_outcome(&run_fleet(&config).unwrap());
+        let baseline = modeled.to_json().to_pretty();
+        for mode in [ExecutionMode::ThreadPerShard, ExecutionMode::WallClock { threads: 3 }] {
+            config.execution = mode;
+            let report = FleetReport::from_outcome(&run_fleet(&config).unwrap());
+            assert_eq!(report.fingerprint, modeled.fingerprint, "fingerprint under {mode:?}");
+            assert_eq!(report.to_json().to_pretty(), baseline, "bytes under {mode:?}");
+        }
     }
 
     #[test]

@@ -174,6 +174,10 @@ pub struct Completed {
     pub report: SessionReport,
     /// Total modeled cost the session charged this shard.
     pub cost: Micros,
+    /// FNV-1a fingerprint of the session's final telemetry digest — the
+    /// physics-state witness determinism tests compare across execution
+    /// modes and thread counts.
+    pub telemetry: u64,
 }
 
 /// Counters one shard accumulates over a fleet run.
@@ -216,6 +220,11 @@ pub struct Shard {
     pool: BTreeMap<SessionShape, Vec<CraneSimulator>>,
     /// Accumulated counters.
     pub stats: ShardStats,
+    /// Test-only crash injection: a poisoned shard panics on its next
+    /// [`Shard::step_batch`], exercising the executor paths that must
+    /// surface a worker panic as a failed join.
+    #[cfg(test)]
+    pub(crate) poison_for_test: bool,
 }
 
 impl Shard {
@@ -233,6 +242,8 @@ impl Shard {
             residents: Vec::new(),
             pool: BTreeMap::new(),
             stats: ShardStats::default(),
+            #[cfg(test)]
+            poison_for_test: false,
         }
     }
 
@@ -546,6 +557,8 @@ impl Shard {
     ///
     /// Returns the first error raised by any session's executive.
     pub fn step_batch(&mut self) -> Result<(Vec<Completed>, Micros), CbError> {
+        #[cfg(test)]
+        assert!(!self.poison_for_test, "shard {} was poisoned for a panic test", self.id);
         let mut tick_busy = Micros::ZERO;
         for r in self.residents.iter_mut() {
             let frames = self.config.batch_frames.min(r.spec.frames - r.frames_done);
@@ -575,6 +588,7 @@ impl Shard {
     fn retire(&mut self, r: Resident) -> Completed {
         let report = r.sim.report();
         let cost = r.sim.cluster().metrics().total_sequential_cost;
+        let telemetry = r.sim.telemetry_digest().fingerprint();
         self.stats.sessions_completed += 1;
         let shape = SessionShape::of(&r.spec.config);
         let pool = self.pool.entry(shape).or_default();
@@ -595,6 +609,7 @@ impl Shard {
             tier: r.spec.config.tier,
             report,
             cost,
+            telemetry,
         }
     }
 }

@@ -5,7 +5,9 @@
 //! nobody, and replay bit-exactly from its seed.
 
 use cod_cb::CbError;
-use cod_fleet::{initial_tier, run_fleet, FleetConfig, FleetOutcome, FleetReport, Priority};
+use cod_fleet::{
+    initial_tier, run_fleet, ExecutionMode, FleetConfig, FleetOutcome, FleetReport, Priority,
+};
 use crane_sim::{FidelityTier, SCORE_DRIFT_TOLERANCE};
 
 /// Checks every fleet-level safety property on a drained outcome; returns a
@@ -222,6 +224,46 @@ pub fn fleet_replay_check(
     Ok((first, second, divergence))
 }
 
+/// Proves wall-clock equivalence: the same configuration served under
+/// [`ExecutionMode::Modeled`] and under [`ExecutionMode::WallClock`] at each
+/// requested thread count must serialize to byte-identical reports — thread
+/// scheduling may decide who steps a shard, never what the fleet computes.
+/// Returns the modeled report plus, per thread count, the first byte where
+/// that run's report diverged (`None` everywhere proves equivalence).
+///
+/// # Errors
+///
+/// Returns the first hard error raised by any run.
+pub fn wallclock_equivalence_check(
+    config: &FleetConfig,
+    thread_counts: &[usize],
+) -> Result<(FleetReport, Vec<(usize, Option<usize>)>), CbError> {
+    let mut modeled_config = config.clone();
+    modeled_config.execution = ExecutionMode::Modeled;
+    let modeled = FleetReport::from_outcome(&run_fleet(&modeled_config)?);
+    let reference = modeled.to_json().to_pretty();
+    let mut divergences = Vec::with_capacity(thread_counts.len());
+    for &threads in thread_counts {
+        let mut pooled_config = config.clone();
+        pooled_config.execution = ExecutionMode::WallClock { threads };
+        let report = FleetReport::from_outcome(&run_fleet(&pooled_config)?);
+        let bytes = report.to_json().to_pretty();
+        let divergence = if bytes == reference {
+            None
+        } else {
+            Some(
+                reference
+                    .bytes()
+                    .zip(bytes.bytes())
+                    .position(|(x, y)| x != y)
+                    .unwrap_or(reference.len().min(bytes.len())),
+            )
+        };
+        divergences.push((threads, divergence));
+    }
+    Ok((modeled, divergences))
+}
+
 /// Proves migration transparency: the same workload served with live
 /// migration on and off must produce identical physics for every session —
 /// same score, same verdict, same frame count. (Modeled *costs* legitimately
@@ -342,7 +384,7 @@ mod tests {
                 base_frames: 16,
                 mean_interarrival_ticks: 1,
             },
-            parallel: false,
+            execution: ExecutionMode::Modeled,
         }
     }
 
@@ -437,6 +479,16 @@ mod tests {
         assert_eq!(first, second);
         assert!(first.demoted > 0, "the replay gate must cover at least one demotion");
         assert!(first.promoted > 0, "the replay gate must cover at least one promotion");
+    }
+
+    #[test]
+    fn wallclock_equivalence_holds_across_thread_counts() {
+        let (modeled, divergences) =
+            wallclock_equivalence_check(&hetero_config(0xC0D), &[1, 2, 4]).unwrap();
+        assert!(modeled.preempted > 0 && modeled.migrated > 0, "the check must stress the fleet");
+        for (threads, divergence) in divergences {
+            assert_eq!(divergence, None, "report diverged at byte under {threads} threads");
+        }
     }
 
     #[test]

@@ -50,7 +50,10 @@ pub mod invariants;
 pub mod matrix;
 pub mod plans;
 
-pub use fleet_invariants::{check_fleet_outcome, fleet_replay_check, migration_transparency_check};
+pub use fleet_invariants::{
+    check_fleet_outcome, fleet_replay_check, migration_transparency_check,
+    wallclock_equivalence_check,
+};
 pub use harness::{replay_check, run_scenario, run_scenario_with, ScenarioOutcome, ScenarioSpec};
 pub use invariants::{standard_invariants, FrameContext, Invariant, InvariantViolation};
 pub use matrix::{run_matrix, scenario_specs, MatrixConfig, MatrixSummary, ScenarioResult};

@@ -7,7 +7,10 @@
 //! cargo run --release --example fleet_serving
 //! ```
 
-use cod_fleet::{run_fleet, FleetConfig, PlacementPolicy, Priority, ShardConfig, WorkloadConfig};
+use cod_fleet::{
+    run_fleet_timed, ExecutionMode, FleetConfig, PlacementPolicy, Priority, ShardConfig,
+    WorkloadConfig,
+};
 
 fn main() {
     // One double-speed machine plus three half-speed ones — the paper's
@@ -27,7 +30,7 @@ fn main() {
             base_frames: 48,
             mean_interarrival_ticks: 1,
         },
-        parallel: true,
+        execution: ExecutionMode::WallClock { threads: 4 },
     };
 
     println!(
@@ -46,7 +49,7 @@ fn main() {
         "policies: speed-weighted placement, preemption on, live migration on, fidelity tiering on\n"
     );
 
-    let outcome = run_fleet(&config).expect("fleet drains");
+    let (outcome, wall) = run_fleet_timed(&config).expect("fleet drains");
     let report = cod_fleet::FleetReport::from_outcome(&outcome);
     print!("{}", report.render_table());
 
@@ -86,5 +89,12 @@ fn main() {
         "modeled throughput {:.2} sessions/s over {:.1} s of serving time",
         outcome.sessions_per_sec(),
         outcome.elapsed_modeled.as_secs_f64()
+    );
+    println!(
+        "wall clock: {:.2} sessions/s over {:.2} s real on {} worker threads \
+         (outcome identical at any thread count)",
+        wall.sessions_per_wall_sec(outcome.completed),
+        wall.wall.as_secs_f64(),
+        wall.threads,
     );
 }

@@ -1,0 +1,347 @@
+//! Work-stealing deques, mirroring the `crossbeam-deque` API surface the
+//! workspace uses: a global [`Injector`] queue plus per-worker [`Worker`]
+//! deques whose [`Stealer`] handles let idle threads take work from busy
+//! ones.
+//!
+//! The real crate implements the Chase–Lev lock-free deque; this offline
+//! stand-in maps the same API onto `Mutex<VecDeque<..>>`. The *semantics*
+//! match (FIFO steal order from the front, LIFO or FIFO local pop, batch
+//! steals move at most half of the source), only the progress guarantee is
+//! weaker: operations may block briefly on the lock instead of retrying. The
+//! stub never returns [`Steal::Retry`]; callers written against the real
+//! crate loop on `Retry` anyway, so the variant stays for API parity.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// The result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The source was empty at the time of the attempt.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The attempt lost a race and should be retried. The mutex-backed stub
+    /// never produces this; it exists so caller retry loops written against
+    /// the real crossbeam compile unchanged.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Whether the attempt found the source empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// Whether the attempt stole a task.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+
+    /// The stolen task, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(task) => Some(task),
+            _ => None,
+        }
+    }
+}
+
+fn lock<T>(mutex: &Mutex<VecDeque<T>>) -> MutexGuard<'_, VecDeque<T>> {
+    mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Moves up to half of `src` (at least one task, when available) to the back
+/// of `dest`, then pops one task for the caller — the shared core of the
+/// `steal_batch_and_pop` operations. Tasks leave `src` from the front, so
+/// steal order is FIFO with respect to insertion.
+fn steal_batch_and_pop_from<T>(src: &Mutex<VecDeque<T>>, dest: &Worker<T>) -> Steal<T> {
+    let mut src = lock(src);
+    if src.is_empty() {
+        return Steal::Empty;
+    }
+    let take = (src.len() + 1) / 2;
+    let mut dest_q = lock(&dest.inner);
+    let first = src.pop_front().expect("checked non-empty");
+    for _ in 1..take {
+        if let Some(task) = src.pop_front() {
+            dest_q.push_back(task);
+        }
+    }
+    Steal::Success(first)
+}
+
+/// Which end of its deque a [`Worker`] pops from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flavor {
+    /// Pop from the front: the worker drains its own queue oldest-first.
+    Fifo,
+    /// Pop from the back: the worker runs its most recently pushed task
+    /// first (better locality; the classic work-stealing configuration).
+    Lifo,
+}
+
+/// A worker's own deque. Push and pop are meant for the owning thread;
+/// [`Worker::stealer`] hands other threads a [`Stealer`] that takes from the
+/// opposite (front) end.
+pub struct Worker<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+    flavor: Flavor,
+}
+
+impl<T> Worker<T> {
+    /// A worker deque that pops oldest-first.
+    pub fn new_fifo() -> Worker<T> {
+        Worker { inner: Arc::new(Mutex::new(VecDeque::new())), flavor: Flavor::Fifo }
+    }
+
+    /// A worker deque that pops newest-first (steals still take the oldest).
+    pub fn new_lifo() -> Worker<T> {
+        Worker { inner: Arc::new(Mutex::new(VecDeque::new())), flavor: Flavor::Lifo }
+    }
+
+    /// Pushes a task onto the deque.
+    pub fn push(&self, task: T) {
+        lock(&self.inner).push_back(task);
+    }
+
+    /// Pops a task from the flavor's end of the deque.
+    pub fn pop(&self) -> Option<T> {
+        let mut q = lock(&self.inner);
+        match self.flavor {
+            Flavor::Fifo => q.pop_front(),
+            Flavor::Lifo => q.pop_back(),
+        }
+    }
+
+    /// Whether the deque is empty right now.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.inner).is_empty()
+    }
+
+    /// Number of queued tasks right now.
+    pub fn len(&self) -> usize {
+        lock(&self.inner).len()
+    }
+
+    /// A handle other threads use to steal from this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { inner: Arc::clone(&self.inner) }
+    }
+}
+
+/// A handle for stealing tasks from another thread's [`Worker`] deque.
+/// Steals always take the oldest task (the front), regardless of the
+/// worker's pop flavor.
+pub struct Stealer<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Stealer<T> {
+    /// Steals the oldest task from the worker's deque.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.inner).pop_front() {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steals up to half of the worker's deque into `dest`, returning one of
+    /// the stolen tasks directly.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        steal_batch_and_pop_from(&self.inner, dest)
+    }
+
+    /// Whether the source deque is empty right now.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.inner).is_empty()
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Stealer<T> {
+        Stealer { inner: Arc::clone(&self.inner) }
+    }
+}
+
+/// A FIFO queue every worker may push to and steal from — the global entry
+/// point work-stealing pools inject fresh tasks through.
+pub struct Injector<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    /// An empty injector.
+    pub fn new() -> Injector<T> {
+        Injector { inner: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Pushes a task onto the back of the queue.
+    pub fn push(&self, task: T) {
+        lock(&self.inner).push_back(task);
+    }
+
+    /// Steals the oldest task.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.inner).pop_front() {
+            Some(task) => Steal::Success(task),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steals up to half of the queue into `dest`, returning one of the
+    /// stolen tasks directly.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        steal_batch_and_pop_from(&self.inner, dest)
+    }
+
+    /// Whether the queue is empty right now.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.inner).is_empty()
+    }
+
+    /// Number of queued tasks right now.
+    pub fn len(&self) -> usize {
+        lock(&self.inner).len()
+    }
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Injector<T> {
+        Injector::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn steal_order_is_fifo_from_the_front() {
+        let worker: Worker<i32> = Worker::new_lifo();
+        worker.push(1);
+        worker.push(2);
+        worker.push(3);
+        let stealer = worker.stealer();
+        // Steals take the oldest task...
+        assert_eq!(stealer.steal(), Steal::Success(1));
+        // ...while the LIFO owner pops the newest.
+        assert_eq!(worker.pop(), Some(3));
+        assert_eq!(stealer.steal(), Steal::Success(2));
+        assert_eq!(worker.pop(), None);
+    }
+
+    #[test]
+    fn fifo_worker_pops_oldest_first() {
+        let worker: Worker<i32> = Worker::new_fifo();
+        worker.push(1);
+        worker.push(2);
+        assert_eq!(worker.pop(), Some(1));
+        assert_eq!(worker.pop(), Some(2));
+        assert!(worker.is_empty());
+    }
+
+    #[test]
+    fn empty_steal_reports_empty_not_retry() {
+        let worker: Worker<i32> = Worker::new_fifo();
+        let stealer = worker.stealer();
+        assert_eq!(stealer.steal(), Steal::Empty);
+        assert!(stealer.steal().is_empty());
+        assert!(stealer.is_empty());
+        let injector: Injector<i32> = Injector::new();
+        assert_eq!(injector.steal(), Steal::Empty);
+        assert_eq!(injector.steal_batch_and_pop(&worker), Steal::Empty);
+    }
+
+    #[test]
+    fn batch_steal_moves_at_most_half_and_pops_the_oldest() {
+        let injector = Injector::new();
+        for task in 0..6 {
+            injector.push(task);
+        }
+        let worker: Worker<i32> = Worker::new_fifo();
+        // 6 queued: the batch takes ceil(6/2) = 3 — one returned, two moved.
+        assert_eq!(injector.steal_batch_and_pop(&worker), Steal::Success(0));
+        assert_eq!(worker.len(), 2);
+        assert_eq!(injector.len(), 3);
+        assert_eq!(worker.pop(), Some(1));
+        assert_eq!(worker.pop(), Some(2));
+        assert_eq!(injector.steal(), Steal::Success(3));
+    }
+
+    #[test]
+    fn single_task_batch_steal_still_succeeds() {
+        let injector = Injector::new();
+        injector.push(42);
+        let worker: Worker<i32> = Worker::new_fifo();
+        assert_eq!(injector.steal_batch_and_pop(&worker), Steal::Success(42));
+        assert!(worker.is_empty());
+        assert!(injector.is_empty());
+    }
+
+    #[test]
+    fn steal_helpers_classify_outcomes() {
+        assert!(Steal::<i32>::Empty.is_empty());
+        assert!(!Steal::<i32>::Empty.is_success());
+        assert!(Steal::Success(7).is_success());
+        assert_eq!(Steal::Success(7).success(), Some(7));
+        assert_eq!(Steal::<i32>::Retry.success(), None);
+        assert!(!Steal::<i32>::Retry.is_empty());
+    }
+
+    #[test]
+    fn cross_thread_hand_off_delivers_every_task_exactly_once() {
+        const TASKS: usize = 200;
+        const THIEVES: usize = 4;
+        let injector = Arc::new(Injector::new());
+        for task in 0..TASKS {
+            injector.push(task);
+        }
+        let sum = Arc::new(AtomicUsize::new(0));
+        let count = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..THIEVES)
+            .map(|_| {
+                let injector = Arc::clone(&injector);
+                let sum = Arc::clone(&sum);
+                let count = Arc::clone(&count);
+                std::thread::spawn(move || {
+                    let local: Worker<usize> = Worker::new_fifo();
+                    loop {
+                        let task =
+                            local.pop().or_else(|| injector.steal_batch_and_pop(&local).success());
+                        match task {
+                            Some(task) => {
+                                sum.fetch_add(task, Ordering::Relaxed);
+                                count.fetch_add(1, Ordering::Relaxed);
+                            }
+                            None => break,
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("thief thread panicked");
+        }
+        // Every task consumed exactly once: the count and the sum both match.
+        assert_eq!(count.load(Ordering::Relaxed), TASKS);
+        assert_eq!(sum.load(Ordering::Relaxed), TASKS * (TASKS - 1) / 2);
+        assert!(injector.is_empty());
+    }
+
+    #[test]
+    fn workers_steal_from_each_other_through_stealers() {
+        let a: Worker<i32> = Worker::new_lifo();
+        let b: Worker<i32> = Worker::new_lifo();
+        for task in 0..4 {
+            a.push(task);
+        }
+        let a_stealer = a.stealer();
+        // b takes a batch from a: half of a's queue crosses over.
+        assert_eq!(a_stealer.steal_batch_and_pop(&b), Steal::Success(0));
+        assert_eq!(b.len(), 1);
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.pop(), Some(1));
+    }
+}

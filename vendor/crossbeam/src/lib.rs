@@ -1,10 +1,15 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only `crossbeam::channel` is consumed by the workspace (the zero-latency
-//! loopback transport). This stub maps it onto `std::sync::mpsc`, wrapping
-//! the receiver in an `Arc<Mutex<..>>` so it is `Clone + Send + Sync` like
-//! crossbeam's. Error types are re-exported from `std::sync::mpsc`, whose
-//! shapes match crossbeam's for the operations used here.
+//! Two submodules are consumed by the workspace: `crossbeam::channel` (the
+//! zero-latency loopback transport and the fleet executor's result path)
+//! maps onto `std::sync::mpsc`, wrapping the receiver in an
+//! `Arc<Mutex<..>>` so it is `Clone + Send + Sync` like crossbeam's, with
+//! error types re-exported from `std::sync::mpsc`, whose shapes match
+//! crossbeam's for the operations used here; `crossbeam::deque` (the
+//! work-stealing executor's task hand-off) mirrors the `crossbeam-deque`
+//! `Injector`/`Worker`/`Stealer` API on mutex-guarded deques.
+
+pub mod deque;
 
 /// Multi-producer multi-consumer channels.
 pub mod channel {

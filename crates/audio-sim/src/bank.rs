@@ -1,0 +1,209 @@
+//! Cross-mixer memoization of pure waveform columns, the audio half of the
+//! batched-stepping path.
+//!
+//! Rendering one mixer frame evaluates `Waveform::sample` once per output
+//! sample per source — thousands of `sin` calls that dominate the cost of a
+//! full-fidelity session frame. Those values are a pure function of the
+//! waveform parameters, the source age and the sample clock; they do not
+//! depend on the session seed, the per-source gain or the listener position.
+//! When several same-shape sessions are stepped in lockstep their static
+//! sources (background noise, engine rumble) stay age-aligned, so a frame's
+//! waveform column is identical across the whole cohort. A [`WaveBank`]
+//! computes each distinct column once per frame and lets every mixer of the
+//! cohort replay it, applying its own gain and attenuation afterwards in
+//! exactly the scalar order of operations — the rendered blocks stay
+//! bit-identical to unbatched rendering.
+//!
+//! Sources that have diverged between sessions (a collision one-shot, a motor
+//! toggled at a different frame) simply miss the memo and are computed the
+//! scalar way; divergence costs speed, never correctness.
+
+use std::collections::BTreeMap;
+
+use crate::source::{SoundSource, SourceKind, Waveform};
+
+/// Memo key: every input the sample values of a column depend on, captured
+/// bit-exactly (`f64::to_bits`) so two keys are equal only when the columns
+/// are bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct ColumnKey {
+    sample_rate: u32,
+    frames: usize,
+    age: u64,
+    kind: (u8, u64),
+    waveform: (u8, u64, u64),
+}
+
+fn kind_bits(kind: SourceKind) -> (u8, u64) {
+    match kind {
+        SourceKind::Continuous => (0, 0),
+        SourceKind::OneShot { duration } => (1, duration.to_bits()),
+    }
+}
+
+fn waveform_bits(waveform: Waveform) -> (u8, u64, u64) {
+    match waveform {
+        Waveform::Sine { frequency } => (0, frequency.to_bits(), 0),
+        Waveform::Rumble { frequency } => (1, frequency.to_bits(), 0),
+        Waveform::Strike { frequency, decay } => (2, frequency.to_bits(), decay.to_bits()),
+    }
+}
+
+/// Shared memo of waveform columns for one lockstep frame of a cohort.
+///
+/// Clear it at every new frame index (ages advance, so stale columns can
+/// never be hit again and would only hold memory).
+#[derive(Debug, Default)]
+pub struct WaveBank {
+    columns: BTreeMap<ColumnKey, Vec<f64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl WaveBank {
+    /// Creates an empty bank.
+    pub fn new() -> WaveBank {
+        WaveBank::default()
+    }
+
+    /// Drops every memoized column, keeping the hit/miss counters.
+    pub fn clear(&mut self) {
+        self.columns.clear();
+    }
+
+    /// Columns currently memoized.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the bank holds no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Column lookups served from the memo.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Column lookups that had to compute the waveform.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// The waveform column of `source` for a `frames`-sample render at
+    /// `sample_rate`: entry `i` is `waveform.sample(age + i * dt)`, truncated
+    /// where a one-shot source finishes (the scalar render's `break`).
+    /// Gain and attenuation are deliberately excluded — they are per-mixer.
+    pub(crate) fn column(
+        &mut self,
+        sample_rate: u32,
+        frames: usize,
+        dt: f64,
+        source: &SoundSource,
+    ) -> &[f64] {
+        let key = ColumnKey {
+            sample_rate,
+            frames,
+            age: source.age.to_bits(),
+            kind: kind_bits(source.kind),
+            waveform: waveform_bits(source.waveform),
+        };
+        if self.columns.contains_key(&key) {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            let mut column = Vec::with_capacity(frames);
+            for i in 0..frames {
+                // Exactly the scalar render's probe: same age expression,
+                // same cutoff test, same sample call.
+                let probe = SoundSource { age: source.age + i as f64 * dt, ..*source };
+                if probe.finished() {
+                    break;
+                }
+                column.push(probe.waveform.sample(probe.age));
+            }
+            self.columns.insert(key, column);
+        }
+        self.columns.get(&key).expect("column just ensured").as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rumble(age: f64) -> SoundSource {
+        SoundSource {
+            kind: SourceKind::Continuous,
+            waveform: Waveform::Rumble { frequency: 27.0 },
+            gain: 0.12,
+            position: None,
+            age,
+        }
+    }
+
+    #[test]
+    fn column_matches_the_scalar_probe_bit_for_bit() {
+        let mut bank = WaveBank::new();
+        let source = rumble(1.25);
+        let dt = 1.0 / 11_025.0;
+        let column = bank.column(11_025, 689, dt, &source).to_vec();
+        assert_eq!(column.len(), 689);
+        for (i, value) in column.iter().enumerate() {
+            let probe = SoundSource { age: source.age + i as f64 * dt, ..source };
+            assert_eq!(value.to_bits(), probe.waveform.sample(probe.age).to_bits());
+        }
+    }
+
+    #[test]
+    fn gain_does_not_split_the_memo() {
+        // The engine source keeps its age but changes gain every frame; two
+        // cohort members with different gains must share one column.
+        let mut bank = WaveBank::new();
+        let loud = SoundSource { gain: 0.6, ..rumble(0.5) };
+        let quiet = SoundSource { gain: 0.15, ..rumble(0.5) };
+        let dt = 1.0 / 8_000.0;
+        bank.column(8_000, 100, dt, &loud);
+        bank.column(8_000, 100, dt, &quiet);
+        assert_eq!(bank.len(), 1);
+        assert_eq!((bank.hits(), bank.misses()), (1, 1));
+    }
+
+    #[test]
+    fn age_and_waveform_do_split_the_memo() {
+        let mut bank = WaveBank::new();
+        let dt = 1.0 / 8_000.0;
+        bank.column(8_000, 100, dt, &rumble(0.5));
+        bank.column(8_000, 100, dt, &rumble(0.5 + dt));
+        let sine = SoundSource { waveform: Waveform::Sine { frequency: 27.0 }, ..rumble(0.5) };
+        bank.column(8_000, 100, dt, &sine);
+        assert_eq!(bank.len(), 3);
+        assert_eq!(bank.misses(), 3);
+    }
+
+    #[test]
+    fn one_shot_column_stops_at_the_cutoff() {
+        let mut bank = WaveBank::new();
+        let strike = SoundSource {
+            kind: SourceKind::OneShot { duration: 0.01 },
+            waveform: Waveform::Strike { frequency: 320.0, decay: 4.0 },
+            gain: 0.5,
+            position: None,
+            age: 0.0,
+        };
+        let dt = 1.0 / 8_000.0;
+        let column = bank.column(8_000, 200, dt, &strike);
+        // finished() fires at age >= duration: 80 samples of a 10 ms shot.
+        assert_eq!(column.len(), 80);
+    }
+
+    #[test]
+    fn clear_keeps_the_counters() {
+        let mut bank = WaveBank::new();
+        bank.column(8_000, 10, 1.0 / 8_000.0, &rumble(0.0));
+        bank.clear();
+        assert!(bank.is_empty());
+        assert_eq!(bank.misses(), 1);
+    }
+}

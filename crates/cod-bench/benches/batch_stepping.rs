@@ -1,0 +1,12 @@
+//! Experiment E11 (`batch_stepping`) — scalar vs batched lockstep serving of
+//! same-shape session cohorts; see `crates/cod-bench/EXPERIMENTS.md`. Thin
+//! wrapper over `cod_bench::experiments::batch_stepping` so `cargo bench`
+//! and `bench_report` report identical statistics. Set `COD_BENCH_QUICK=1`
+//! for a smoke run.
+
+use cod_bench::experiments::{batch_stepping, ExperimentCtx};
+
+fn main() {
+    let result = batch_stepping::run(&ExperimentCtx::from_env());
+    println!("{}", result.summary());
+}

@@ -22,6 +22,11 @@ use cod_bench::report::BenchReport;
 /// Minimum acceptable COD-vs-single-PC speedup on the default scene.
 const SPEEDUP_FLOOR: f64 = 3.0;
 
+/// Minimum acceptable E11 batched-over-scalar serving speedup at 8
+/// same-shape residents per shard (measured ~1.9x; the margin absorbs
+/// runner noise).
+const BATCH_SPEEDUP_FLOOR: f64 = 1.5;
+
 const USAGE: &str = "usage: bench_report [--quick] [--out PATH] [--no-tables]";
 
 struct Args {
@@ -115,6 +120,26 @@ fn main() -> ExitCode {
     println!(
         "E12 score drift {drift:.1} points (tolerance {:.1}) — ok",
         crane_sim::SCORE_DRIFT_TOLERANCE
+    );
+
+    // Regression gate: batched lockstep stepping must keep paying for itself
+    // at the 8-resident cohort E11 sweeps (identity is asserted inside the
+    // experiment; this gate is about the speed).
+    let batch_speedup = report
+        .experiment("E11")
+        .and_then(|e| e.derived.iter().find(|d| d.name == "batched_speedup_8_residents"))
+        .map(|d| d.value)
+        .unwrap_or(0.0);
+    if batch_speedup < BATCH_SPEEDUP_FLOOR {
+        eprintln!(
+            "REGRESSION: E11 batched stepping speedup {batch_speedup:.2}x at 8 residents fell \
+             below the {BATCH_SPEEDUP_FLOOR:.1}x floor"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "E11 batched stepping {batch_speedup:.2}x at 8 residents (floor \
+         {BATCH_SPEEDUP_FLOOR:.1}x) — ok"
     );
     ExitCode::SUCCESS
 }

@@ -32,7 +32,12 @@ const DRIFT_FRAMES: usize = 400;
 fn burst_config(tiering: bool) -> FleetConfig {
     FleetConfig {
         shards: 2,
-        shard: ShardConfig { slots: 2, batch_frames: 8, pool_per_shape: 1 },
+        shard: ShardConfig {
+            slots: 2,
+            batch_frames: 8,
+            pool_per_shape: 1,
+            ..ShardConfig::default()
+        },
         shard_speeds: Vec::new(),
         placement: PlacementPolicy::SpeedWeighted,
         preemption: false,

@@ -22,7 +22,12 @@ fn workload(sessions: usize) -> WorkloadConfig {
 fn config(shards: usize, sessions: usize) -> FleetConfig {
     FleetConfig {
         shards,
-        shard: ShardConfig { slots: 4, batch_frames: 8, pool_per_shape: 2 },
+        shard: ShardConfig {
+            slots: 4,
+            batch_frames: 8,
+            pool_per_shape: 2,
+            ..ShardConfig::default()
+        },
         max_pending: 16,
         workload: workload(sessions),
         execution: ExecutionMode::Modeled,

@@ -26,7 +26,12 @@ const SPEEDS: [f64; 4] = [2.0, 0.5, 0.5, 0.5];
 fn config(sessions: usize, placement: PlacementPolicy, aware: bool) -> FleetConfig {
     FleetConfig {
         shards: SPEEDS.len(),
-        shard: ShardConfig { slots: 4, batch_frames: 8, pool_per_shape: 2 },
+        shard: ShardConfig {
+            slots: 4,
+            batch_frames: 8,
+            pool_per_shape: 2,
+            ..ShardConfig::default()
+        },
         shard_speeds: SPEEDS.to_vec(),
         placement,
         preemption: aware,

@@ -28,7 +28,12 @@ const THREADS: [usize; 3] = [1, 2, 4];
 fn config(execution: ExecutionMode) -> FleetConfig {
     FleetConfig {
         shards: 4,
-        shard: ShardConfig { slots: 4, batch_frames: 8, pool_per_shape: 2 },
+        shard: ShardConfig {
+            slots: 4,
+            batch_frames: 8,
+            pool_per_shape: 2,
+            ..ShardConfig::default()
+        },
         max_pending: 16,
         workload: WorkloadConfig {
             sessions: 32,

@@ -66,6 +66,7 @@
 //! assert!(cluster.metrics().frames_run == 30);
 //! ```
 
+pub mod batch;
 pub mod cluster;
 pub mod computer;
 pub mod framesync;
@@ -74,6 +75,7 @@ pub mod metrics;
 pub mod pipeline;
 pub mod placement;
 
+pub use batch::BatchScratch;
 pub use cluster::{frame_period_for_fps, Cluster, ClusterConfig, ComputerId, FrameRecord};
 pub use computer::Computer;
 pub use framesync::{FrameSyncClient, FrameSyncFom, FrameSyncServer, SyncBarrierModel};

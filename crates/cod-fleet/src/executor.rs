@@ -27,7 +27,7 @@
 //! carries no wall numbers and stays byte-identical per seed whether a run
 //! took one thread or eight.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -55,6 +55,18 @@ enum TaskDone {
     Panicked,
 }
 
+/// Per-worker observability counters. Purely diagnostic: they describe how
+/// the race unfolded (who stole what, who idled how long), never what was
+/// computed, and are never serialized into `FLEET_cod.json`.
+#[derive(Debug, Default)]
+struct WorkerCounters {
+    /// Tasks this worker took from outside its local deque — injector
+    /// batch-takes plus sibling steals.
+    steals: AtomicU64,
+    /// Times this worker came up empty-handed and backed off.
+    idle_spins: AtomicU64,
+}
+
 /// A pool of long-lived worker threads stepping shard batches via work
 /// stealing. Create one per fleet run; submit one tick at a time through
 /// [`WallClockExecutor::step_shards`].
@@ -63,6 +75,7 @@ pub struct WallClockExecutor {
     done_rx: Receiver<TaskDone>,
     live: Arc<AtomicBool>,
     workers: Vec<JoinHandle<()>>,
+    counters: Arc<Vec<WorkerCounters>>,
 }
 
 impl WallClockExecutor {
@@ -77,6 +90,9 @@ impl WallClockExecutor {
         let (done_tx, done_rx) = unbounded();
         let live = Arc::new(AtomicBool::new(true));
 
+        let counters: Arc<Vec<WorkerCounters>> =
+            Arc::new((0..threads).map(|_| WorkerCounters::default()).collect());
+
         let deques: Vec<Worker<Task>> = (0..threads).map(|_| Worker::new_lifo()).collect();
         let stealers: Vec<Stealer<Task>> = deques.iter().map(Worker::stealer).collect();
         let workers = deques
@@ -87,21 +103,36 @@ impl WallClockExecutor {
                 let live = Arc::clone(&live);
                 let stealers = stealers.clone();
                 let done_tx = done_tx.clone();
+                let counters = Arc::clone(&counters);
                 std::thread::Builder::new()
                     .name(format!("fleet-worker-{index}"))
                     .spawn(move || {
-                        worker_loop(index, &local, &injector, &stealers, &done_tx, &live)
+                        worker_loop(index, &local, &injector, &stealers, &done_tx, &live, &counters)
                     })
                     .expect("spawn fleet worker")
             })
             .collect();
 
-        WallClockExecutor { injector, done_rx, live, workers }
+        WallClockExecutor { injector, done_rx, live, workers, counters }
     }
 
     /// Number of worker threads in the pool.
     pub fn threads(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Per-worker count of tasks taken from outside the worker's own deque
+    /// (injector batch-takes plus sibling steals), indexed by worker.
+    /// Diagnostic only — the values depend on the race and are never part of
+    /// the deterministic outcome.
+    pub fn worker_steals(&self) -> Vec<u64> {
+        self.counters.iter().map(|c| c.steals.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Per-worker count of empty-handed scheduling rounds (yield or sleep),
+    /// indexed by worker. Diagnostic only.
+    pub fn worker_idle_spins(&self) -> Vec<u64> {
+        self.counters.iter().map(|c| c.idle_spins.load(Ordering::Relaxed)).collect()
     }
 
     /// Steps every shard's batch once across the pool and merges the results
@@ -171,11 +202,15 @@ fn worker_loop(
     stealers: &[Stealer<Task>],
     done_tx: &Sender<TaskDone>,
     live: &AtomicBool,
+    counters: &[WorkerCounters],
 ) {
     let mut idle_spins = 0u32;
     loop {
         match find_task(index, local, injector, stealers) {
-            Some(mut shard) => {
+            Some((mut shard, stolen)) => {
+                if stolen {
+                    counters[index].steals.fetch_add(1, Ordering::Relaxed);
+                }
                 idle_spins = 0;
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     let result = shard.step_batch();
@@ -196,6 +231,7 @@ fn worker_loop(
                 // Briefly spin-yield for the next tick's tasks, then sleep:
                 // ticks are milliseconds apart, so the pool must not burn a
                 // core per worker while the fleet driver places sessions.
+                counters[index].idle_spins.fetch_add(1, Ordering::Relaxed);
                 idle_spins = idle_spins.saturating_add(1);
                 if idle_spins < 64 {
                     std::thread::yield_now();
@@ -209,25 +245,26 @@ fn worker_loop(
 
 /// The steal policy: local work first, then a batch off the injector (moving
 /// up to half the queue into the local deque so siblings contend less), then
-/// a single task off the first non-empty sibling.
+/// a single task off the first non-empty sibling. The flag says whether the
+/// task came from outside the local deque (for the steal counters).
 fn find_task(
     index: usize,
     local: &Worker<Task>,
     injector: &Injector<Task>,
     stealers: &[Stealer<Task>],
-) -> Option<Task> {
+) -> Option<(Task, bool)> {
     if let Some(task) = local.pop() {
-        return Some(task);
+        return Some((task, false));
     }
     if let Steal::Success(task) = injector.steal_batch_and_pop(local) {
-        return Some(task);
+        return Some((task, true));
     }
     for (i, stealer) in stealers.iter().enumerate() {
         if i == index {
             continue;
         }
         if let Steal::Success(task) = stealer.steal() {
-            return Some(task);
+            return Some((task, true));
         }
     }
     None
@@ -240,8 +277,11 @@ mod tests {
     use crate::workload::{generate, WorkloadConfig};
 
     fn shard_with_session(id: usize, seed: u64, frames: usize) -> Shard {
-        let mut shard =
-            Shard::new(id, ShardConfig { slots: 2, batch_frames: 4, pool_per_shape: 1 }, 1.0);
+        let mut shard = Shard::new(
+            id,
+            ShardConfig { slots: 2, batch_frames: 4, pool_per_shape: 1, ..ShardConfig::default() },
+            1.0,
+        );
         let mut arrivals = generate(&WorkloadConfig {
             sessions: 1,
             seed,

@@ -402,7 +402,7 @@ fn next_queued(queue: &[QueueEntry]) -> Option<usize> {
 /// The outcome derives `PartialEq` and is compared byte for byte across
 /// execution modes; real elapsed time legitimately varies run to run, so it
 /// lives here, excluded from every fingerprint by construction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WallClockStats {
     /// Real time of the whole run: admission, placement, stepping, folding.
     pub wall: Duration,
@@ -413,6 +413,14 @@ pub struct WallClockStats {
     pub threads: usize,
     /// Fleet ticks executed.
     pub ticks: u64,
+    /// Per-worker count of shard tasks taken from outside the worker's own
+    /// deque (injector batch-takes plus sibling steals). Empty for the
+    /// modeled and thread-per-shard modes; diagnostic only, never serialized
+    /// into `FLEET_cod.json`.
+    pub worker_steals: Vec<u64>,
+    /// Per-worker count of empty-handed scheduling rounds. Empty for the
+    /// modeled and thread-per-shard modes; diagnostic only, never serialized.
+    pub worker_idle_spins: Vec<u64>,
 }
 
 impl WallClockStats {
@@ -619,6 +627,11 @@ pub fn run_fleet_timed(config: &FleetConfig) -> Result<(FleetOutcome, WallClockS
         stepping_wall,
         threads: config.execution.threads_for(config.shards),
         ticks: tick,
+        worker_steals: executor.as_ref().map(WallClockExecutor::worker_steals).unwrap_or_default(),
+        worker_idle_spins: executor
+            .as_ref()
+            .map(WallClockExecutor::worker_idle_spins)
+            .unwrap_or_default(),
     };
     let outcome = FleetOutcome {
         config: config.clone(),
@@ -785,7 +798,12 @@ mod tests {
     fn tiny_config(shards: usize, seed: u64) -> FleetConfig {
         FleetConfig {
             shards,
-            shard: ShardConfig { slots: 2, batch_frames: 8, pool_per_shape: 1 },
+            shard: ShardConfig {
+                slots: 2,
+                batch_frames: 8,
+                pool_per_shape: 1,
+                ..ShardConfig::default()
+            },
             shard_speeds: Vec::new(),
             placement: PlacementPolicy::SpeedWeighted,
             preemption: false,
@@ -948,7 +966,8 @@ mod tests {
     #[test]
     fn heterogeneous_speed_weighted_placement_beats_least_resident() {
         let mut config = tiny_config(4, 0xC0D);
-        config.shard = ShardConfig { slots: 4, batch_frames: 8, pool_per_shape: 2 };
+        config.shard =
+            ShardConfig { slots: 4, batch_frames: 8, pool_per_shape: 2, ..ShardConfig::default() };
         config.max_pending = 16;
         config.workload.sessions = 16;
         config.workload.base_frames = 24;

@@ -39,7 +39,7 @@
 //!
 //! let config = FleetConfig {
 //!     shards: 2,
-//!     shard: ShardConfig { slots: 2, batch_frames: 8, pool_per_shape: 1 },
+//!     shard: ShardConfig { slots: 2, batch_frames: 8, pool_per_shape: 1, ..ShardConfig::default() },
 //!     shard_speeds: vec![2.0, 0.5], // one fast PC, one slow PC
 //!     placement: PlacementPolicy::SpeedWeighted,
 //!     preemption: true,
@@ -70,7 +70,9 @@ pub use fleet::{
     SessionOutcome, WallClockStats,
 };
 pub use report::{document, FleetReport, ShardRow, TieredSection, SCHEMA};
-pub use shard::{Completed, PortableSession, SessionShape, Shard, ShardConfig, ShardStats};
+pub use shard::{
+    Completed, PortableSession, SessionShape, Shard, ShardConfig, ShardStats, SteppingMode,
+};
 pub use workload::{
     coarse_eligible, generate, initial_tier, Arrival, Priority, SessionSpec, WorkloadConfig,
 };

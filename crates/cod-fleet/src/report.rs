@@ -501,7 +501,12 @@ mod tests {
     fn outcome() -> FleetOutcome {
         run_fleet(&FleetConfig {
             shards: 2,
-            shard: ShardConfig { slots: 2, batch_frames: 8, pool_per_shape: 1 },
+            shard: ShardConfig {
+                slots: 2,
+                batch_frames: 8,
+                pool_per_shape: 1,
+                ..ShardConfig::default()
+            },
             shard_speeds: Vec::new(),
             placement: PlacementPolicy::SpeedWeighted,
             preemption: false,

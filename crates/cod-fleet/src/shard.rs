@@ -22,9 +22,28 @@ use std::collections::BTreeMap;
 use cod_cb::CbError;
 use cod_cluster::nominal_sequential_frame_cost;
 use cod_net::Micros;
-use crane_sim::{Coarse, CraneSimulator, FidelityTier, SessionReport, SimulatorConfig};
+use crane_sim::{
+    step_frames_batch, Coarse, CraneSimulator, FidelityTier, SessionReport, SimulatorConfig,
+};
 
 use crate::workload::{Priority, SessionSpec};
+
+/// How a shard advances its residents each tick.
+///
+/// Both modes produce bit-identical sessions — identical telemetry digests,
+/// reports and modeled costs — because the batched path shares only work that
+/// is provably invariant across cohort members (see
+/// [`crane_sim::step_frames_batch`]). `Batched` is the default; `Scalar` is
+/// kept as the reference implementation the equivalence checks diff against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SteppingMode {
+    /// One session at a time, one frame at a time — the reference hot loop.
+    Scalar,
+    /// Residents sharing a [`SessionShape`] advance in lockstep, frame-major,
+    /// sharing per-frame scratch (e.g. memoized audio waveform columns).
+    #[default]
+    Batched,
+}
 
 /// Sizing and pacing of one shard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,11 +54,18 @@ pub struct ShardConfig {
     pub batch_frames: usize,
     /// Retired simulators kept per session shape for recycling.
     pub pool_per_shape: usize,
+    /// How residents are stepped each tick (never affects results).
+    pub stepping: SteppingMode,
 }
 
 impl Default for ShardConfig {
     fn default() -> Self {
-        ShardConfig { slots: 4, batch_frames: 8, pool_per_shape: 2 }
+        ShardConfig {
+            slots: 4,
+            batch_frames: 8,
+            pool_per_shape: 2,
+            stepping: SteppingMode::default(),
+        }
     }
 }
 
@@ -553,33 +579,70 @@ impl Shard {
     /// the ones that finish. Returns the retirements plus the modeled busy
     /// time of this tick.
     ///
+    /// Under [`SteppingMode::Batched`] residents sharing a [`SessionShape`]
+    /// advance as one lockstep cohort per shape instead of one session at a
+    /// time; modeled costs are `u64` microsecond sums, so regrouping the
+    /// accumulation is exact and the tick total matches the scalar path bit
+    /// for bit.
+    ///
     /// # Errors
     ///
     /// Returns the first error raised by any session's executive.
     pub fn step_batch(&mut self) -> Result<(Vec<Completed>, Micros), CbError> {
         #[cfg(test)]
         assert!(!self.poison_for_test, "shard {} was poisoned for a panic test", self.id);
+        let batch_frames = self.config.batch_frames;
         let mut tick_busy = Micros::ZERO;
-        for r in self.residents.iter_mut() {
-            let frames = self.config.batch_frames.min(r.spec.frames - r.frames_done);
-            for _ in 0..frames {
-                let record = r.sim.step_frame()?;
-                for (_, cost) in &record.costs {
-                    tick_busy += *cost;
+        match self.config.stepping {
+            SteppingMode::Scalar => {
+                for r in self.residents.iter_mut() {
+                    // saturating: a resumed session can arrive with more
+                    // frames done than its budget asks for (see the
+                    // regression test) — it must retire, not underflow.
+                    let frames = batch_frames.min(r.spec.frames.saturating_sub(r.frames_done));
+                    for _ in 0..frames {
+                        let record = r.sim.step_frame()?;
+                        for (_, cost) in &record.costs {
+                            tick_busy += *cost;
+                        }
+                    }
+                    r.frames_done += frames;
                 }
             }
-            r.frames_done += frames;
+            SteppingMode::Batched => {
+                let mut cohorts: BTreeMap<SessionShape, Vec<&mut Resident>> = BTreeMap::new();
+                for r in self.residents.iter_mut() {
+                    cohorts.entry(SessionShape::of(&r.spec.config)).or_default().push(r);
+                }
+                for members in cohorts.values_mut() {
+                    let budgets: Vec<usize> = members
+                        .iter()
+                        .map(|r| batch_frames.min(r.spec.frames.saturating_sub(r.frames_done)))
+                        .collect();
+                    let mut batch: Vec<(&mut CraneSimulator, usize)> = members
+                        .iter_mut()
+                        .zip(&budgets)
+                        .map(|(r, budget)| (&mut r.sim, *budget))
+                        .collect();
+                    let costs = step_frames_batch(&mut batch)?;
+                    for ((r, budget), cost) in members.iter_mut().zip(&budgets).zip(&costs) {
+                        tick_busy += *cost;
+                        r.frames_done += *budget;
+                    }
+                }
+            }
         }
         self.stats.busy += tick_busy;
 
+        // Single order-preserving partition pass: survivors keep their
+        // residency order, retirements are reported in it.
         let mut completed = Vec::new();
-        let mut i = 0;
-        while i < self.residents.len() {
-            if self.residents[i].frames_done >= self.residents[i].spec.frames {
-                let r = self.residents.remove(i);
+        let residents = std::mem::take(&mut self.residents);
+        for r in residents {
+            if r.frames_done >= r.spec.frames {
                 completed.push(self.retire(r));
             } else {
-                i += 1;
+                self.residents.push(r);
             }
         }
         Ok((completed, tick_busy))
@@ -635,8 +698,11 @@ mod tests {
 
     #[test]
     fn shard_runs_a_session_to_completion() {
-        let mut shard =
-            Shard::new(0, ShardConfig { slots: 2, batch_frames: 4, pool_per_shape: 1 }, 1.0);
+        let mut shard = Shard::new(
+            0,
+            ShardConfig { slots: 2, batch_frames: 4, pool_per_shape: 1, ..ShardConfig::default() },
+            1.0,
+        );
         shard.admit(tiny_spec(0, 5, 10), 0, 0).unwrap();
         assert_eq!(shard.resident_count(), 1);
         assert!(shard.backlog_cost() > Micros::ZERO);
@@ -655,8 +721,11 @@ mod tests {
 
     #[test]
     fn same_shape_sessions_recycle_the_simulator() {
-        let mut shard =
-            Shard::new(0, ShardConfig { slots: 1, batch_frames: 8, pool_per_shape: 1 }, 1.0);
+        let mut shard = Shard::new(
+            0,
+            ShardConfig { slots: 1, batch_frames: 8, pool_per_shape: 1, ..ShardConfig::default() },
+            1.0,
+        );
         let first = tiny_spec(0, 5, 8);
         let mut second = tiny_spec(1, 5, 8);
         // Same shape (same generated mix from the same seed), fresh seed.
@@ -726,8 +795,11 @@ mod tests {
 
     #[test]
     fn pool_never_hands_a_rack_across_tiers() {
-        let mut shard =
-            Shard::new(0, ShardConfig { slots: 1, batch_frames: 8, pool_per_shape: 2 }, 1.0);
+        let mut shard = Shard::new(
+            0,
+            ShardConfig { slots: 1, batch_frames: 8, pool_per_shape: 2, ..ShardConfig::default() },
+            1.0,
+        );
         let full = tiny_spec(0, 5, 8);
         let mut coarse = tiny_spec(1, 5, 8);
         coarse.config.tier = FidelityTier::Coarse;
@@ -860,6 +932,84 @@ mod tests {
             chunked.run_frames(frames - split).unwrap();
             prop_assert_eq!(straight.telemetry_digest(), chunked.telemetry_digest());
             prop_assert_eq!(straight.report(), chunked.report());
+        }
+    }
+
+    #[test]
+    fn overshot_resident_retires_instead_of_underflowing() {
+        // Regression: the scalar hot loop computed `spec.frames - frames_done`
+        // unguarded, so a resumed session whose frames_done exceeded its
+        // budget (a shrunk spec, or an over-replayed portable) panicked the
+        // shard instead of retiring the session.
+        for stepping in [SteppingMode::Scalar, SteppingMode::Batched] {
+            let mut shard = Shard::new(0, ShardConfig { stepping, ..ShardConfig::default() }, 1.0);
+            let spec = tiny_spec(0, 5, 4);
+            let portable = PortableSession {
+                spec,
+                frames_done: 6, // more than the 4-frame budget
+                arrived_tick: 0,
+                admitted_tick: 0,
+                preempted: 0,
+                migrated: 0,
+                promoted: 0,
+                demoted: 0,
+            };
+            shard.resume(portable).unwrap();
+            let (completed, _) = shard.step_batch().unwrap();
+            assert_eq!(completed.len(), 1, "overshot resident must retire ({stepping:?})");
+            assert_eq!(shard.resident_count(), 0);
+        }
+    }
+
+    #[test]
+    fn retirements_and_survivors_keep_residency_order() {
+        // Guards the single-pass partition sweep: multiple sessions retiring
+        // on the same tick come out in residency order, and the survivors
+        // stay in theirs.
+        let mut shard =
+            Shard::new(0, ShardConfig { slots: 5, batch_frames: 8, ..ShardConfig::default() }, 1.0);
+        // ids 0..5 with frame budgets that finish 0, 2 and 4 on the first tick.
+        for (id, frames) in [(0u64, 4usize), (1, 20), (2, 8), (3, 20), (4, 6)] {
+            shard.admit(tiny_spec(id, 5 + id, frames), 0, 0).unwrap();
+        }
+        let (completed, _) = shard.step_batch().unwrap();
+        let retired: Vec<u64> = completed.iter().map(|c| c.id).collect();
+        assert_eq!(retired, vec![0, 2, 4], "retirements must keep residency order");
+        let survivors: Vec<u64> = shard.residents_overview().iter().map(|v| v.id).collect();
+        assert_eq!(survivors, vec![1, 3], "survivors must keep residency order");
+    }
+
+    #[test]
+    fn batched_stepping_matches_scalar_bit_for_bit() {
+        // A mixed cohort — same-shape pairs plus a Coarse odd one out — served
+        // by both stepping modes must retire identical sessions: same reports,
+        // same telemetry fingerprints, same modeled busy time.
+        let run = |stepping: SteppingMode| {
+            let mut shard = Shard::new(
+                0,
+                ShardConfig { slots: 6, batch_frames: 8, pool_per_shape: 2, stepping },
+                1.0,
+            );
+            for id in 0..4u64 {
+                let mut spec = tiny_spec(id, 7, 12);
+                spec.config.seed ^= id; // same shape, divergent sessions
+                shard.admit(spec, 0, 0).unwrap();
+            }
+            let mut coarse = tiny_spec(4, 7, 12);
+            coarse.config.tier = FidelityTier::Coarse;
+            shard.admit(coarse, 0, 0).unwrap();
+            let mut done = Vec::new();
+            while shard.resident_count() > 0 {
+                done.extend(shard.step_batch().unwrap().0);
+            }
+            (done, shard.stats.busy)
+        };
+        let (scalar_done, scalar_busy) = run(SteppingMode::Scalar);
+        let (batched_done, batched_busy) = run(SteppingMode::Batched);
+        assert_eq!(scalar_busy, batched_busy, "modeled busy time must not change");
+        assert_eq!(scalar_done.len(), batched_done.len());
+        for (a, b) in scalar_done.iter().zip(batched_done.iter()) {
+            assert_eq!(a, b, "session {} diverged between stepping modes", a.id);
         }
     }
 

@@ -4,11 +4,18 @@
 //! re-accounted), respect shard capacity, respect priority order, starve
 //! nobody, and replay bit-exactly from its seed.
 
+use std::collections::BTreeMap;
+
 use cod_cb::CbError;
 use cod_fleet::{
     initial_tier, run_fleet, ExecutionMode, FleetConfig, FleetOutcome, FleetReport, Priority,
+    SessionShape, SteppingMode,
 };
-use crane_sim::{FidelityTier, SCORE_DRIFT_TOLERANCE};
+use crane_sim::{
+    step_frames_batch, CraneSimulator, FidelityTier, SimulatorConfig, SCORE_DRIFT_TOLERANCE,
+};
+
+use crate::matrix::{scenario_specs, MatrixConfig};
 
 /// Checks every fleet-level safety property on a drained outcome; returns a
 /// description of each violated property (empty ⇒ all held).
@@ -264,6 +271,124 @@ pub fn wallclock_equivalence_check(
     Ok((modeled, divergences))
 }
 
+/// Proves batched-stepping equivalence: the same configuration served with
+/// [`SteppingMode::Scalar`] (the reference hot loop, modeled execution) and
+/// with [`SteppingMode::Batched`] under [`ExecutionMode::Modeled`] and
+/// [`ExecutionMode::WallClock`] at each requested thread count must produce
+/// byte-identical serialized reports **and** identical per-session telemetry
+/// digests — grouping same-shape residents into lockstep cohorts may change
+/// how fast sessions are served, never what they compute. Returns the scalar
+/// reference report plus a description of every divergence (empty ⇒
+/// equivalent).
+///
+/// # Errors
+///
+/// Returns the first hard error raised by any run.
+pub fn batch_equivalence_check(
+    config: &FleetConfig,
+    thread_counts: &[usize],
+) -> Result<(FleetReport, Vec<String>), CbError> {
+    let mut scalar_config = config.clone();
+    scalar_config.shard.stepping = SteppingMode::Scalar;
+    scalar_config.execution = ExecutionMode::Modeled;
+    let scalar_outcome = run_fleet(&scalar_config)?;
+    let reference = FleetReport::from_outcome(&scalar_outcome);
+    let reference_bytes = reference.to_json().to_pretty();
+    let reference_telemetry: BTreeMap<u64, u64> =
+        scalar_outcome.sessions.iter().map(|s| (s.id, s.telemetry)).collect();
+
+    let mut modes = vec![("modeled".to_owned(), ExecutionMode::Modeled)];
+    for &threads in thread_counts {
+        modes.push((format!("wallclock-{threads}"), ExecutionMode::WallClock { threads }));
+    }
+
+    let mut violations = Vec::new();
+    for (label, execution) in modes {
+        let mut batched_config = config.clone();
+        batched_config.shard.stepping = SteppingMode::Batched;
+        batched_config.execution = execution;
+        let outcome = run_fleet(&batched_config)?;
+        let telemetry: BTreeMap<u64, u64> =
+            outcome.sessions.iter().map(|s| (s.id, s.telemetry)).collect();
+        if telemetry != reference_telemetry {
+            violations.push(format!(
+                "batched ({label}): per-session telemetry digests diverged from scalar"
+            ));
+        }
+        let bytes = FleetReport::from_outcome(&outcome).to_json().to_pretty();
+        if bytes != reference_bytes {
+            let at = reference_bytes
+                .bytes()
+                .zip(bytes.bytes())
+                .position(|(x, y)| x != y)
+                .unwrap_or(reference_bytes.len().min(bytes.len()));
+            violations.push(format!(
+                "batched ({label}): serialized report diverged from scalar at byte {at}"
+            ));
+        }
+    }
+    Ok((reference, violations))
+}
+
+/// Proves batched-stepping equivalence across every [`SessionShape`] of the
+/// scenario matrix: each distinct shape the sweep exercises (deduplicated —
+/// fault plans do not change a shape) gets a small same-shape cohort of
+/// divergent seeds run both scalar (one [`CraneSimulator::step_frame`] loop
+/// per session) and batched ([`step_frames_batch`] lockstep), and every
+/// member's telemetry digest must match bit for bit. Returns a description of
+/// every divergence (empty ⇒ equivalent).
+///
+/// # Errors
+///
+/// Returns the first hard error raised by any simulator.
+pub fn batch_shape_coverage_check(
+    matrix: &MatrixConfig,
+    cohort: usize,
+    frames: usize,
+) -> Result<Vec<String>, CbError> {
+    let mut shapes: BTreeMap<SessionShape, SimulatorConfig> = BTreeMap::new();
+    for spec in scenario_specs(matrix) {
+        let mut config = spec.config.clone();
+        config.exam_frames = frames;
+        shapes.entry(SessionShape::of(&config)).or_insert(config);
+    }
+
+    let mut violations = Vec::new();
+    for (index, base) in shapes.values().enumerate() {
+        let cohort_config = |k: usize| {
+            let mut config = base.clone();
+            config.seed ^= (k as u64) * 0x9E37_79B9;
+            config
+        };
+        // Scalar reference: each member stepped alone, frame by frame.
+        let mut scalar_digests = Vec::with_capacity(cohort);
+        for k in 0..cohort {
+            let mut sim = CraneSimulator::new(cohort_config(k))?;
+            for _ in 0..frames {
+                sim.step_frame()?;
+            }
+            scalar_digests.push(sim.telemetry_digest());
+        }
+        // Batched run: the same cohort advanced in lockstep.
+        let mut sims = (0..cohort)
+            .map(|k| CraneSimulator::new(cohort_config(k)))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut batch: Vec<(&mut CraneSimulator, usize)> =
+            sims.iter_mut().map(|sim| (sim, frames)).collect();
+        step_frames_batch(&mut batch)?;
+        for (k, (sim, scalar)) in sims.iter().zip(&scalar_digests).enumerate() {
+            if sim.telemetry_digest() != *scalar {
+                violations.push(format!(
+                    "matrix shape {index}: cohort member {k} diverged from its scalar twin \
+                     (operator {:?}, gpu {:?}, {} channels)",
+                    base.operator, base.gpu, base.display_channels
+                ));
+            }
+        }
+    }
+    Ok(violations)
+}
+
 /// Proves migration transparency: the same workload served with live
 /// migration on and off must produce identical physics for every session —
 /// same score, same verdict, same frame count. (Modeled *costs* legitimately
@@ -371,7 +496,12 @@ mod tests {
     fn small_config(shards: usize, seed: u64) -> FleetConfig {
         FleetConfig {
             shards,
-            shard: ShardConfig { slots: 2, batch_frames: 8, pool_per_shape: 1 },
+            shard: ShardConfig {
+                slots: 2,
+                batch_frames: 8,
+                pool_per_shape: 1,
+                ..ShardConfig::default()
+            },
             shard_speeds: Vec::new(),
             placement: PlacementPolicy::SpeedWeighted,
             preemption: false,
@@ -479,6 +609,39 @@ mod tests {
         assert_eq!(first, second);
         assert!(first.demoted > 0, "the replay gate must cover at least one demotion");
         assert!(first.promoted > 0, "the replay gate must cover at least one promotion");
+    }
+
+    #[test]
+    fn batched_stepping_is_equivalent_on_a_mixed_fleet() {
+        // The hardest fleet to keep bit-identical: heterogeneous speeds,
+        // preemption and migration all reshuffling cohorts mid-run, replayed
+        // scalar vs batched under modeled and pooled execution.
+        let (reference, violations) =
+            batch_equivalence_check(&hetero_config(0xC0D), &[1, 4]).unwrap();
+        assert!(
+            reference.preempted > 0 && reference.migrated > 0,
+            "the check must stress the fleet"
+        );
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn batched_stepping_is_equivalent_on_a_tiered_burst() {
+        // Mixed tiers: live demotion puts Coarse and Full residents on the
+        // same shard, so batched cohorts split across decimated and full
+        // racks.
+        let (reference, violations) =
+            batch_equivalence_check(&tiered_burst_config(0xC0D), &[2]).unwrap();
+        assert!(reference.demoted > 0, "the check must cover mixed tiers");
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn batched_stepping_covers_every_matrix_shape() {
+        // Every distinct session shape of the full 72-scenario sweep, as a
+        // lockstep cohort vs its scalar twins.
+        let violations = batch_shape_coverage_check(&MatrixConfig::full(), 2, 10).unwrap();
+        assert!(violations.is_empty(), "{violations:?}");
     }
 
     #[test]

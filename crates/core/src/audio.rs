@@ -5,9 +5,9 @@
 //! alarm beeps — by driving the `audio-sim` mixer from the reflected state and
 //! the interactions broadcast by the other modules.
 
-use audio_sim::{Mixer, SoundEvent};
+use audio_sim::{Mixer, SoundEvent, WaveBank};
 use cod_cb::{CbApi, CbError, ClassRegistry};
-use cod_cluster::LogicalProcess;
+use cod_cluster::{BatchScratch, LogicalProcess};
 use cod_net::Micros;
 
 use crate::fom::{AlarmMsg, CollisionMsg, CraneFom, CraneStateMsg, OperatorInputMsg};
@@ -44,22 +44,18 @@ impl AudioLp {
     pub fn collisions_heard(&self) -> u64 {
         self.collisions_heard
     }
-}
 
-impl LogicalProcess for AudioLp {
-    fn name(&self) -> &str {
-        "audio"
-    }
-
-    fn init(&mut self, cb: &mut dyn CbApi) -> Result<(), CbError> {
-        cb.subscribe_object_class(self.fom.crane_state)?;
-        cb.subscribe_object_class(self.fom.operator_input)?;
-        cb.subscribe_interaction_class(self.fom.collision)?;
-        cb.subscribe_interaction_class(self.fom.alarm)?;
-        Ok(())
-    }
-
-    fn step(&mut self, cb: &mut dyn CbApi, dt: f64) -> Result<(), CbError> {
+    /// The shared body of `step` and `step_batched`: process reflections and
+    /// interactions, drive the mixer sources, render the frame's block —
+    /// through the cohort's [`WaveBank`] when one is passed, which is
+    /// bit-identical to the unbanked render by the `render_with_bank`
+    /// contract.
+    fn step_impl(
+        &mut self,
+        cb: &mut dyn CbApi,
+        dt: f64,
+        bank: Option<&mut WaveBank>,
+    ) -> Result<(), CbError> {
         for reflection in cb.reflections() {
             if reflection.class == self.fom.crane_state {
                 self.crane =
@@ -94,9 +90,51 @@ impl LogicalProcess for AudioLp {
             || self.input.hoist.abs() > 0.05;
         self.mixer.handle_event(SoundEvent::MotorWorking { active: motor_active });
 
-        let block = self.mixer.render(dt.min(0.25));
+        let block = self.mixer.render_with_bank(dt.min(0.25), bank);
         self.telemetry.update(|t| t.audio_rms = block.rms());
         Ok(())
+    }
+}
+
+/// The audio module's slot in the cohort's [`BatchScratch`]: one [`WaveBank`]
+/// shared by every session at the current lockstep frame, cleared when the
+/// frame epoch advances (ages move on, so stale columns can never hit again).
+#[derive(Debug, Default)]
+struct SharedWaveBank {
+    epoch: u64,
+    bank: WaveBank,
+}
+
+impl LogicalProcess for AudioLp {
+    fn name(&self) -> &str {
+        "audio"
+    }
+
+    fn init(&mut self, cb: &mut dyn CbApi) -> Result<(), CbError> {
+        cb.subscribe_object_class(self.fom.crane_state)?;
+        cb.subscribe_object_class(self.fom.operator_input)?;
+        cb.subscribe_interaction_class(self.fom.collision)?;
+        cb.subscribe_interaction_class(self.fom.alarm)?;
+        Ok(())
+    }
+
+    fn step(&mut self, cb: &mut dyn CbApi, dt: f64) -> Result<(), CbError> {
+        self.step_impl(cb, dt, None)
+    }
+
+    fn step_batched(
+        &mut self,
+        cb: &mut dyn CbApi,
+        dt: f64,
+        scratch: &mut BatchScratch,
+    ) -> Result<(), CbError> {
+        let epoch = scratch.frame_epoch();
+        let shared: &mut SharedWaveBank = scratch.slot("audio.wavebank");
+        if shared.epoch != epoch {
+            shared.bank.clear();
+            shared.epoch = epoch;
+        }
+        self.step_impl(cb, dt, Some(&mut shared.bank))
     }
 
     fn last_step_cost(&self) -> Micros {

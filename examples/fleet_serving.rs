@@ -17,7 +17,12 @@ fn main() {
     // premise (commodity desktop PCs) taken seriously: they are never equal.
     let config = FleetConfig {
         shards: 4,
-        shard: ShardConfig { slots: 4, batch_frames: 8, pool_per_shape: 2 },
+        shard: ShardConfig {
+            slots: 4,
+            batch_frames: 8,
+            pool_per_shape: 2,
+            ..ShardConfig::default()
+        },
         shard_speeds: vec![2.0, 0.5, 0.5, 0.5],
         placement: PlacementPolicy::SpeedWeighted,
         preemption: true,

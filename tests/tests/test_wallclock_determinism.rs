@@ -14,7 +14,8 @@
 use std::collections::BTreeMap;
 
 use cod_fleet::{
-    run_fleet, ExecutionMode, FleetConfig, PlacementPolicy, ShardConfig, WorkloadConfig,
+    run_fleet, run_fleet_timed, ExecutionMode, FleetConfig, PlacementPolicy, ShardConfig,
+    WorkloadConfig,
 };
 use cod_testkit::wallclock_equivalence_check;
 
@@ -28,7 +29,12 @@ const THREADS: [usize; 4] = [1, 2, 4, 8];
 fn hetero_config(seed: u64) -> FleetConfig {
     FleetConfig {
         shards: 2,
-        shard: ShardConfig { slots: 2, batch_frames: 8, pool_per_shape: 1 },
+        shard: ShardConfig {
+            slots: 2,
+            batch_frames: 8,
+            pool_per_shape: 1,
+            ..ShardConfig::default()
+        },
         shard_speeds: vec![2.0, 0.5],
         placement: PlacementPolicy::SpeedWeighted,
         preemption: true,
@@ -107,6 +113,37 @@ fn telemetry_digests_are_identical_at_every_thread_count() {
             "per-session telemetry digests diverged under {threads} threads"
         );
     }
+}
+
+#[test]
+fn worker_instrumentation_is_present_and_non_degenerate() {
+    // The per-worker counters are observability, not outcome: they must be
+    // sized to the pool, show the pool actually worked (and, with more
+    // workers than shards, actually stole), and stay empty when no pool ran.
+    let mut config = hetero_config(0xC0D);
+    config.execution = ExecutionMode::WallClock { threads: 4 };
+    let (outcome, stats) = run_fleet_timed(&config).unwrap();
+    assert!(outcome.completed > 0);
+    assert_eq!(stats.worker_steals.len(), 4, "one steal counter per worker");
+    assert_eq!(stats.worker_idle_spins.len(), 4, "one idle counter per worker");
+    // Every shard task enters through the injector and every local deque is
+    // drained by the end of a tick, so each tick's first acquisition is an
+    // injector take — the pool must record at least one steal per tick.
+    assert!(
+        stats.worker_steals.iter().sum::<u64>() >= stats.ticks,
+        "4 workers on 2 shards must be stealing (ticks {}): {:?}",
+        stats.ticks,
+        stats.worker_steals
+    );
+    assert!(
+        stats.worker_idle_spins.iter().sum::<u64>() > 0,
+        "4 workers on 2 shards cannot all stay busy: {:?}",
+        stats.worker_idle_spins
+    );
+
+    let modeled = run_fleet_timed(&hetero_config(0xC0D)).unwrap().1;
+    assert!(modeled.worker_steals.is_empty(), "no pool, no steal counters");
+    assert!(modeled.worker_idle_spins.is_empty(), "no pool, no idle counters");
 }
 
 #[test]

@@ -9,8 +9,10 @@
 //! `--quick` selects the reduced measurement budget used by the CI smoke run;
 //! `--out` overrides the report path (default `BENCH_cod.json` in the current
 //! directory). Exits non-zero if the COD-vs-single-PC speedup regresses below
-//! 3× — the repo's standing perf anchor — or if the E12 Coarse-vs-Full score
-//! drift escapes the pinned tolerance.
+//! 3× — the repo's standing perf anchor — if the E12 Coarse-vs-Full score
+//! drift escapes the pinned tolerance, if the E11 batched-stepping speedup
+//! falls below its floor, or if the E14 tracing overhead escapes its 5%
+//! ceiling.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -71,7 +73,7 @@ fn main() -> ExitCode {
     let measure = if args.quick { MeasureConfig::quick() } else { MeasureConfig::from_env() };
     let ctx = ExperimentCtx { measure, tables: args.tables };
     println!(
-        "running experiments E1-E13 ({} budget: {} samples/experiment)...",
+        "running experiments E1-E14 ({} budget: {} samples/experiment)...",
         if args.quick { "quick" } else { "full" },
         measure.samples
     );
@@ -141,5 +143,22 @@ fn main() -> ExitCode {
         "E11 batched stepping {batch_speedup:.2}x at 8 residents (floor \
          {BATCH_SPEEDUP_FLOOR:.1}x) — ok"
     );
+
+    // Regression gate: arming the deterministic trace sink must stay cheap
+    // enough to leave on — E14 pins the ceiling.
+    let overhead = report
+        .experiment("E14")
+        .and_then(|e| e.derived.iter().find(|d| d.name == "tracing_overhead_pct"))
+        .map(|d| d.value)
+        .unwrap_or(f64::INFINITY);
+    let ceiling = cod_bench::experiments::observability::TRACING_OVERHEAD_CEILING_PCT;
+    if overhead > ceiling {
+        eprintln!(
+            "REGRESSION: E14 tracing overhead {overhead:+.2}% escaped the {ceiling:.1}% ceiling \
+             on the batched serving path"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("E14 tracing overhead {overhead:+.2}% (ceiling {ceiling:.1}%) — ok");
     ExitCode::SUCCESS
 }

@@ -51,6 +51,7 @@ fn burst_config(tiering: bool) -> FleetConfig {
             mean_interarrival_ticks: 0,
         },
         execution: ExecutionMode::Modeled,
+        obs: Default::default(),
     }
 }
 

@@ -45,6 +45,7 @@ fn config(sessions: usize, placement: PlacementPolicy, aware: bool) -> FleetConf
             mean_interarrival_ticks: 1,
         },
         execution: ExecutionMode::Modeled,
+        obs: Default::default(),
     }
 }
 

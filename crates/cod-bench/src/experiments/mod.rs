@@ -17,6 +17,7 @@ pub mod fleet;
 pub mod framerate;
 pub mod hetero_fleet;
 pub mod init_protocol;
+pub mod observability;
 pub mod platform;
 pub mod routing;
 pub mod sync_overhead;
@@ -74,5 +75,6 @@ pub fn all(ctx: &ExperimentCtx) -> Vec<ExperimentResult> {
         batch_stepping::run(ctx),
         fidelity_tiers::run(ctx),
         wallclock::run(ctx),
+        observability::run(ctx),
     ]
 }

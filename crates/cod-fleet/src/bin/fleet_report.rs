@@ -438,6 +438,19 @@ fn main() -> ExitCode {
                 stats.ticks,
                 if bytes == reference { "yes" } else { "NO" },
             );
+            // How the race unfolded, worker by worker: tasks run, tasks taken
+            // from outside the local deque, empty-handed scheduling rounds.
+            // Diagnostic only — none of it is in the report bytes above.
+            println!("  worker      tasks     steals  idle-spins");
+            for (i, ((tasks, steals), idle)) in stats
+                .worker_tasks
+                .iter()
+                .zip(&stats.worker_steals)
+                .zip(&stats.worker_idle_spins)
+                .enumerate()
+            {
+                println!("  {i:>6} {tasks:>10} {steals:>10} {idle:>11}");
+            }
             wall_sps.push(sps);
         }
         let scaling = wall_sps[1] / wall_sps[0].max(1e-12);

@@ -33,6 +33,7 @@ use std::thread::JoinHandle;
 
 use cod_cb::CbError;
 use cod_net::Micros;
+use cod_trace::WallTrace;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 
@@ -65,6 +66,8 @@ struct WorkerCounters {
     steals: AtomicU64,
     /// Times this worker came up empty-handed and backed off.
     idle_spins: AtomicU64,
+    /// Total shard-batch tasks this worker ran, whatever their source.
+    tasks: AtomicU64,
 }
 
 /// A pool of long-lived worker threads stepping shard batches via work
@@ -85,6 +88,15 @@ impl WallClockExecutor {
     /// to shutdown, so the per-tick cost is a queue hand-off, not a thread
     /// spawn.
     pub fn new(threads: usize) -> WallClockExecutor {
+        WallClockExecutor::new_traced(threads, None)
+    }
+
+    /// [`WallClockExecutor::new`] with an optional wall-clock trace sink.
+    /// When `wall` is `Some`, every worker records per-task spans, steal
+    /// instants and idle gaps into its own trace lane
+    /// ([`WallTrace::worker_lane`]); when `None` the loop is exactly the
+    /// untraced hot path.
+    pub fn new_traced(threads: usize, wall: Option<Arc<WallTrace>>) -> WallClockExecutor {
         let threads = threads.max(1);
         let injector = Arc::new(Injector::new());
         let (done_tx, done_rx) = unbounded();
@@ -104,10 +116,20 @@ impl WallClockExecutor {
                 let stealers = stealers.clone();
                 let done_tx = done_tx.clone();
                 let counters = Arc::clone(&counters);
+                let wall = wall.clone();
                 std::thread::Builder::new()
                     .name(format!("fleet-worker-{index}"))
                     .spawn(move || {
-                        worker_loop(index, &local, &injector, &stealers, &done_tx, &live, &counters)
+                        worker_loop(
+                            index,
+                            &local,
+                            &injector,
+                            &stealers,
+                            &done_tx,
+                            &live,
+                            &counters,
+                            wall.as_deref(),
+                        )
                     })
                     .expect("spawn fleet worker")
             })
@@ -133,6 +155,12 @@ impl WallClockExecutor {
     /// indexed by worker. Diagnostic only.
     pub fn worker_idle_spins(&self) -> Vec<u64> {
         self.counters.iter().map(|c| c.idle_spins.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Per-worker count of shard-batch tasks run (from any source), indexed
+    /// by worker. Diagnostic only.
+    pub fn worker_tasks(&self) -> Vec<u64> {
+        self.counters.iter().map(|c| c.tasks.load(Ordering::Relaxed)).collect()
     }
 
     /// Steps every shard's batch once across the pool and merges the results
@@ -193,8 +221,21 @@ impl Drop for WallClockExecutor {
     }
 }
 
+/// Where [`find_task`] got its task from — the label each steal instant
+/// carries in the wall-clock trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskSource {
+    /// The worker's own deque: not a steal.
+    Local,
+    /// A batch-take off the shared injector.
+    Injector,
+    /// A single task stolen from a sibling's deque.
+    Sibling,
+}
+
 /// One worker's life: drain the local deque, else batch-steal from the
 /// injector, else steal from a sibling, else back off until shutdown.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     index: usize,
     local: &Worker<Task>,
@@ -203,19 +244,40 @@ fn worker_loop(
     done_tx: &Sender<TaskDone>,
     live: &AtomicBool,
     counters: &[WorkerCounters],
+    wall: Option<&WallTrace>,
 ) {
+    let lane = WallTrace::worker_lane(index);
     let mut idle_spins = 0u32;
+    // Wall-clock µs at which the current idle gap started, if one is open.
+    let mut idle_since: Option<u64> = None;
     loop {
         match find_task(index, local, injector, stealers) {
-            Some((mut shard, stolen)) => {
-                if stolen {
+            Some((mut shard, source)) => {
+                if source != TaskSource::Local {
                     counters[index].steals.fetch_add(1, Ordering::Relaxed);
                 }
+                counters[index].tasks.fetch_add(1, Ordering::Relaxed);
                 idle_spins = 0;
+                let start = wall.map(|w| {
+                    if let Some(since) = idle_since.take() {
+                        w.complete(lane, "idle".to_string(), "idle", since);
+                    }
+                    match source {
+                        TaskSource::Local => {}
+                        TaskSource::Injector => w.instant(lane, "injector-take", "steal"),
+                        TaskSource::Sibling => w.instant(lane, "sibling-steal", "steal"),
+                    }
+                    w.now_us()
+                });
+                let shard_id = shard.id;
+                shard.set_wall_lane(lane);
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     let result = shard.step_batch();
                     (shard, result)
                 }));
+                if let (Some(w), Some(start)) = (wall, start) {
+                    w.complete(lane, format!("shard{shard_id}"), "step", start);
+                }
                 let done = match result {
                     Ok((shard, result)) => TaskDone::Stepped(Box::new(shard), result),
                     Err(_) => TaskDone::Panicked,
@@ -226,7 +288,15 @@ fn worker_loop(
             }
             None => {
                 if !live.load(Ordering::Acquire) {
+                    if let (Some(w), Some(since)) = (wall, idle_since.take()) {
+                        w.complete(lane, "idle".to_string(), "idle", since);
+                    }
                     return;
+                }
+                if let Some(w) = wall {
+                    if idle_since.is_none() {
+                        idle_since = Some(w.now_us());
+                    }
                 }
                 // Briefly spin-yield for the next tick's tasks, then sleep:
                 // ticks are milliseconds apart, so the pool must not burn a
@@ -245,26 +315,26 @@ fn worker_loop(
 
 /// The steal policy: local work first, then a batch off the injector (moving
 /// up to half the queue into the local deque so siblings contend less), then
-/// a single task off the first non-empty sibling. The flag says whether the
-/// task came from outside the local deque (for the steal counters).
+/// a single task off the first non-empty sibling. The source says where the
+/// task came from (for the steal counters and the trace's steal instants).
 fn find_task(
     index: usize,
     local: &Worker<Task>,
     injector: &Injector<Task>,
     stealers: &[Stealer<Task>],
-) -> Option<(Task, bool)> {
+) -> Option<(Task, TaskSource)> {
     if let Some(task) = local.pop() {
-        return Some((task, false));
+        return Some((task, TaskSource::Local));
     }
     if let Steal::Success(task) = injector.steal_batch_and_pop(local) {
-        return Some((task, true));
+        return Some((task, TaskSource::Injector));
     }
     for (i, stealer) in stealers.iter().enumerate() {
         if i == index {
             continue;
         }
         if let Steal::Success(task) = stealer.steal() {
-            return Some((task, true));
+            return Some((task, TaskSource::Sibling));
         }
     }
     None

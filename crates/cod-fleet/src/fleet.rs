@@ -39,10 +39,12 @@
 //! one quantity that legitimately varies run to run — can be reported without
 //! ever touching the fingerprinted output.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cod_cb::CbError;
 use cod_net::Micros;
+use cod_trace::{DetTrace, ObsConfig, WallTrace, DRIVER_LANE};
 use crane_sim::FidelityTier;
 
 use crate::admission::{AdmissionConfig, AdmissionState};
@@ -130,6 +132,11 @@ pub struct FleetConfig {
     /// How shard batches are executed (the outcome is identical under every
     /// mode; only wall-clock time differs).
     pub execution: ExecutionMode,
+    /// What the run records ([`ObsConfig::Disabled`] by default — no hook
+    /// point allocates or records). Never serialized into `FLEET_cod.json`:
+    /// the report reads the config fields it needs explicitly, so arming
+    /// tracing cannot perturb the fingerprinted output.
+    pub obs: ObsConfig,
 }
 
 impl FleetConfig {
@@ -147,6 +154,7 @@ impl FleetConfig {
             tiering: false,
             workload: WorkloadConfig::quick(seed),
             execution: ExecutionMode::ThreadPerShard,
+            obs: ObsConfig::Disabled,
         }
     }
 
@@ -163,6 +171,7 @@ impl FleetConfig {
             tiering: false,
             workload: WorkloadConfig::full(seed),
             execution: ExecutionMode::ThreadPerShard,
+            obs: ObsConfig::Disabled,
         }
     }
 
@@ -421,6 +430,10 @@ pub struct WallClockStats {
     /// Per-worker count of empty-handed scheduling rounds. Empty for the
     /// modeled and thread-per-shard modes; diagnostic only, never serialized.
     pub worker_idle_spins: Vec<u64>,
+    /// Per-worker count of shard-batch tasks run (from any source). Empty
+    /// for the modeled and thread-per-shard modes; diagnostic only, never
+    /// serialized.
+    pub worker_tasks: Vec<u64>,
 }
 
 impl WallClockStats {
@@ -456,10 +469,46 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetOutcome, CbError> {
 ///
 /// Returns the first hard error raised by any session's executive.
 pub fn run_fleet_timed(config: &FleetConfig) -> Result<(FleetOutcome, WallClockStats), CbError> {
+    run_fleet_traced(config).map(|(outcome, stats, _)| (outcome, stats))
+}
+
+/// The observability artifacts of one traced fleet run — what
+/// [`FleetConfig::obs`] armed, `None` for each disarmed sink.
+pub struct TraceArtifacts {
+    /// The deterministic sink: counters, histograms and scheduling events
+    /// keyed on modeled time and seeded identifiers only. Drain it with
+    /// [`DetTrace::to_report_json`] into `OBS_cod.json` — byte-identical per
+    /// seed under every execution mode.
+    pub det: Option<DetTrace>,
+    /// The wall-clock sink: real-time spans from the executor workers, the
+    /// shard hot loops and the fleet driver. Export it with
+    /// [`WallTrace::to_chrome_json`] for Perfetto.
+    pub wall: Option<Arc<WallTrace>>,
+}
+
+/// [`run_fleet_timed`] plus the observability artifacts requested by
+/// [`FleetConfig::obs`]. With tracing disabled (the default) both artifacts
+/// are `None` and the run is exactly [`run_fleet_timed`].
+///
+/// # Errors
+///
+/// Returns the first hard error raised by any session's executive.
+pub fn run_fleet_traced(
+    config: &FleetConfig,
+) -> Result<(FleetOutcome, WallClockStats, TraceArtifacts), CbError> {
     let run_started = Instant::now();
     let mut stepping_wall = Duration::ZERO;
+    let mut det = config.obs.deterministic_enabled().then(DetTrace::new);
+    let wall = config.obs.wall_enabled().then(|| {
+        Arc::new(WallTrace::new(match config.execution {
+            ExecutionMode::WallClock { threads } => threads.max(1),
+            _ => 0,
+        }))
+    });
     let executor = match config.execution {
-        ExecutionMode::WallClock { threads } => Some(WallClockExecutor::new(threads)),
+        ExecutionMode::WallClock { threads } => {
+            Some(WallClockExecutor::new_traced(threads, wall.clone()))
+        }
         _ => None,
     };
     let arrivals = generate(&config.workload);
@@ -470,6 +519,11 @@ pub fn run_fleet_timed(config: &FleetConfig) -> Result<(FleetOutcome, WallClockS
     });
     let mut shards: Vec<Shard> =
         (0..config.shards).map(|i| Shard::new(i, config.shard, config.speed_of(i))).collect();
+    if config.obs.enabled() {
+        for shard in shards.iter_mut() {
+            shard.enable_trace(config.obs.deterministic_enabled(), wall.clone());
+        }
+    }
     let mut queue: Vec<QueueEntry> = Vec::new();
     let mut next_seq = 0u64;
     let mut sessions: Vec<SessionOutcome> = Vec::with_capacity(arrivals.len());
@@ -492,6 +546,7 @@ pub fn run_fleet_timed(config: &FleetConfig) -> Result<(FleetOutcome, WallClockS
                      shards: &mut Vec<Shard>,
                      queue: &mut Vec<QueueEntry>,
                      resume_busy: &mut [Micros],
+                     det: &mut Option<DetTrace>,
                      tick: u64|
      -> Result<bool, CbError> {
         let backlog = backlog_of(shards, config.placement);
@@ -502,13 +557,18 @@ pub fn run_fleet_timed(config: &FleetConfig) -> Result<(FleetOutcome, WallClockS
         if !entry.was_admitted {
             entry.portable.admitted_tick = tick;
         }
+        let session = entry.portable.spec.id;
         let replay = shards[target].resume(entry.portable)?;
         resume_busy[target] += replay;
+        if let Some(d) = det.as_mut() {
+            d.event(tick, "place", session, target as i64);
+        }
         Ok(true)
     };
 
     loop {
         let mut resume_busy = vec![Micros::ZERO; config.shards];
+        let tick_start = wall.as_ref().map(|w| w.now_us());
 
         // 1. Offer the arrivals due at this tick to the bounded queue. A full
         //    queue first drains into any free slot, so an arrival is only
@@ -516,9 +576,15 @@ pub fn run_fleet_timed(config: &FleetConfig) -> Result<(FleetOutcome, WallClockS
         //    while capacity sits idle.
         while next_arrival < arrivals.len() && arrivals[next_arrival].tick <= tick {
             while admission.pending() >= config.max_pending
-                && place_one(&mut admission, &mut shards, &mut queue, &mut resume_busy, tick)?
-            {
-            }
+                && place_one(
+                    &mut admission,
+                    &mut shards,
+                    &mut queue,
+                    &mut resume_busy,
+                    &mut det,
+                    tick,
+                )?
+            {}
             let arrival = &arrivals[next_arrival];
             if admission.offer(arrival.spec.priority) {
                 let mut spec = arrival.spec.clone();
@@ -542,6 +608,8 @@ pub fn run_fleet_timed(config: &FleetConfig) -> Result<(FleetOutcome, WallClockS
                     was_admitted: false,
                 });
                 next_seq += 1;
+            } else if let Some(d) = det.as_mut() {
+                d.event(tick, "reject", arrival.spec.id, -1);
             }
             next_arrival += 1;
         }
@@ -551,7 +619,14 @@ pub fn run_fleet_timed(config: &FleetConfig) -> Result<(FleetOutcome, WallClockS
         //    the least urgent resident (which re-queues with its progress and
         //    resumes later by replay).
         loop {
-            while place_one(&mut admission, &mut shards, &mut queue, &mut resume_busy, tick)? {}
+            while place_one(
+                &mut admission,
+                &mut shards,
+                &mut queue,
+                &mut resume_busy,
+                &mut det,
+                tick,
+            )? {}
             if !config.preemption || !admission.can_preempt() {
                 break;
             }
@@ -568,6 +643,9 @@ pub fn run_fleet_timed(config: &FleetConfig) -> Result<(FleetOutcome, WallClockS
             }
             let portable = shards[shard_id].extract(view.index, false);
             admission.preempt(shard_id, portable.spec.priority);
+            if let Some(d) = det.as_mut() {
+                d.event(tick, "preempt", portable.spec.id, shard_id as i64);
+            }
             queue.push(QueueEntry { portable, seq: next_seq, was_admitted: true });
             next_seq += 1;
         }
@@ -577,7 +655,7 @@ pub fn run_fleet_timed(config: &FleetConfig) -> Result<(FleetOutcome, WallClockS
         //    and only when the move strictly improves the pair's makespan
         //    with the replay cost accounted.
         if config.migration {
-            migrate_one(config, &mut admission, &mut shards, &mut resume_busy)?;
+            migrate_one(config, &mut admission, &mut shards, &mut resume_busy, &mut det, tick)?;
         }
 
         // 3½. Retier: under queue pressure every coarse-eligible Full
@@ -586,12 +664,16 @@ pub fn run_fleet_timed(config: &FleetConfig) -> Result<(FleetOutcome, WallClockS
         //     rack back. Either direction is an in-place deterministic
         //     replay, charged like a migration's.
         if config.tiering {
-            retier_tick(&admission, &mut shards, &mut resume_busy)?;
+            retier_tick(&admission, &mut shards, &mut resume_busy, &mut det, tick)?;
         }
 
         // 4. Batch-step every shard under the configured execution mode.
         let step_started = Instant::now();
+        let step_start_us = wall.as_ref().map(|w| w.now_us());
         let results = step_all(&mut shards, config.execution, executor.as_ref())?;
+        if let (Some(w), Some(start)) = (wall.as_ref(), step_start_us) {
+            w.complete(DRIVER_LANE, "step-phase".to_string(), "step", start);
+        }
         stepping_wall += step_started.elapsed();
 
         // 5. Fold the results back in shard order (determinism) and account
@@ -602,7 +684,17 @@ pub fn run_fleet_timed(config: &FleetConfig) -> Result<(FleetOutcome, WallClockS
             for done in completed {
                 admission.complete(shard_id);
                 sessions.push(session_outcome(done, tick, shard_id));
+                if let Some(d) = det.as_mut() {
+                    let latest = sessions.last().expect("just pushed");
+                    d.record("session_latency_ticks", latest.latency_ticks());
+                }
             }
+        }
+        if let Some(d) = det.as_mut() {
+            d.record("tick_makespan_us", tick_makespan.0);
+        }
+        if let (Some(w), Some(start)) = (wall.as_ref(), tick_start) {
+            w.complete(DRIVER_LANE, format!("tick{tick}"), "tick", start);
         }
         elapsed += tick_makespan;
         tick += 1;
@@ -622,6 +714,23 @@ pub fn run_fleet_timed(config: &FleetConfig) -> Result<(FleetOutcome, WallClockS
     debug_assert!(admission.violations().is_empty(), "{:?}", admission.violations());
     let promoted = shards.iter().map(|s| s.stats.promoted).sum();
     let demoted = shards.iter().map(|s| s.stats.demoted).sum();
+    if let Some(d) = det.as_mut() {
+        // The run-level aggregates, then the per-shard frame counters folded
+        // in shard-id order — every input is modeled/seeded, so the drained
+        // report is a pure function of the configuration.
+        d.set("ticks_run", tick);
+        d.set("offered", admission.offered);
+        d.set("admitted", admission.admitted);
+        d.set("completed", admission.completed);
+        d.set("rejected", admission.rejected);
+        d.set("preempted", admission.preempted);
+        d.set("migrated", admission.migrated);
+        d.set("promoted", promoted);
+        d.set("demoted", demoted);
+        for shard in &shards {
+            shard.fold_det_into(d);
+        }
+    }
     let stats = WallClockStats {
         wall: run_started.elapsed(),
         stepping_wall,
@@ -632,6 +741,7 @@ pub fn run_fleet_timed(config: &FleetConfig) -> Result<(FleetOutcome, WallClockS
             .as_ref()
             .map(WallClockExecutor::worker_idle_spins)
             .unwrap_or_default(),
+        worker_tasks: executor.as_ref().map(WallClockExecutor::worker_tasks).unwrap_or_default(),
     };
     let outcome = FleetOutcome {
         config: config.clone(),
@@ -650,7 +760,7 @@ pub fn run_fleet_timed(config: &FleetConfig) -> Result<(FleetOutcome, WallClockS
         sessions,
         shard_stats: shards.into_iter().map(|s| s.stats).collect(),
     };
-    Ok((outcome, stats))
+    Ok((outcome, stats, TraceArtifacts { det, wall }))
 }
 
 /// The per-tick retier policy of a tiering fleet: shed fidelity before
@@ -668,6 +778,8 @@ fn retier_tick(
     admission: &AdmissionState,
     shards: &mut [Shard],
     resume_busy: &mut [Micros],
+    det: &mut Option<DetTrace>,
+    tick: u64,
 ) -> Result<(), CbError> {
     if admission.pending() > 0 {
         for shard in shards.iter_mut() {
@@ -680,6 +792,9 @@ fn retier_tick(
                 let Some(view) = target else { break };
                 let cost = shard.retier(view.index, FidelityTier::Coarse)?;
                 resume_busy[shard.id] += cost;
+                if let Some(d) = det.as_mut() {
+                    d.event(tick, "demote", view.id, shard.id as i64);
+                }
             }
         }
     } else {
@@ -699,6 +814,9 @@ fn retier_tick(
         if let Some((sid, view)) = candidate {
             let cost = shards[sid].retier(view.index, FidelityTier::Full)?;
             resume_busy[sid] += cost;
+            if let Some(d) = det.as_mut() {
+                d.event(tick, "promote", view.id, sid as i64);
+            }
         }
     }
     Ok(())
@@ -712,6 +830,8 @@ fn migrate_one(
     admission: &mut AdmissionState,
     shards: &mut [Shard],
     resume_busy: &mut [Micros],
+    det: &mut Option<DetTrace>,
+    tick: u64,
 ) -> Result<(), CbError> {
     let backlog: Vec<Micros> = shards.iter().map(Shard::backlog_cost).collect();
     let donor = (0..shards.len())
@@ -743,6 +863,9 @@ fn migrate_one(
     let portable = shards[donor].extract(view.index, true);
     admission.migrate(donor, receiver);
     shards[receiver].note_migrated_in();
+    if let Some(d) = det.as_mut() {
+        d.event(tick, "migrate", portable.spec.id, receiver as i64);
+    }
     let cost = shards[receiver].resume(portable)?;
     resume_busy[receiver] += cost;
     Ok(())
@@ -817,6 +940,7 @@ mod tests {
                 mean_interarrival_ticks: 1,
             },
             execution: ExecutionMode::Modeled,
+            obs: ObsConfig::Disabled,
         }
     }
 

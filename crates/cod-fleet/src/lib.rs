@@ -48,6 +48,7 @@
 //!     max_pending: 4,
 //!     workload: WorkloadConfig { sessions: 3, seed: 7, base_frames: 10, mean_interarrival_ticks: 1 },
 //!     execution: ExecutionMode::WallClock { threads: 2 },
+//!     obs: cod_fleet::ObsConfig::Disabled,
 //! };
 //! let (outcome, wall) = run_fleet_timed(&config).expect("fleet drains");
 //! assert_eq!(outcome.offered, 3);
@@ -64,10 +65,11 @@ pub mod shard;
 pub mod workload;
 
 pub use admission::{AdmissionConfig, AdmissionState};
+pub use cod_trace::{DetTrace, Histogram, ObsConfig, WallTrace, OBS_SCHEMA};
 pub use executor::WallClockExecutor;
 pub use fleet::{
-    run_fleet, run_fleet_timed, ExecutionMode, FleetConfig, FleetOutcome, PlacementPolicy,
-    SessionOutcome, WallClockStats,
+    run_fleet, run_fleet_timed, run_fleet_traced, ExecutionMode, FleetConfig, FleetOutcome,
+    PlacementPolicy, SessionOutcome, TraceArtifacts, WallClockStats,
 };
 pub use report::{document, FleetReport, ShardRow, TieredSection, SCHEMA};
 pub use shard::{

@@ -520,6 +520,7 @@ mod tests {
                 mean_interarrival_ticks: 1,
             },
             execution: ExecutionMode::Modeled,
+            obs: Default::default(),
         })
         .unwrap()
     }

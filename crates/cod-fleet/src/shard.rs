@@ -18,12 +18,15 @@
 //! migration.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use cod_cb::CbError;
 use cod_cluster::nominal_sequential_frame_cost;
 use cod_net::Micros;
+use cod_trace::{DetTrace, WallTrace, DRIVER_LANE};
 use crane_sim::{
-    step_frames_batch, Coarse, CraneSimulator, FidelityTier, SessionReport, SimulatorConfig,
+    step_frames_batch, step_frames_batch_traced, BatchStepStats, Coarse, CraneSimulator,
+    FidelityTier, SessionReport, SimulatorConfig,
 };
 
 use crate::workload::{Priority, SessionSpec};
@@ -235,6 +238,28 @@ pub struct ShardStats {
     pub peak_residents: usize,
 }
 
+/// Deterministic per-shard observability counters: a pure function of the
+/// shard's configuration and workload, so they may be folded into the
+/// fingerprinted `OBS_cod.json`. Wall-clock numbers never land here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct DetShardCounters {
+    /// Frame-level counters from the batched stepper (frames stepped, memo
+    /// hits/misses in the cohort wavebank).
+    pub(crate) batch: BatchStepStats,
+    /// Lockstep cohorts stepped (one per shape per tick under `Batched`).
+    pub(crate) cohorts: u64,
+}
+
+/// The observability hooks of one shard, boxed so a disabled shard carries a
+/// single null pointer through the hot loop.
+pub(crate) struct ShardTrace {
+    /// Deterministic counters, drained into `OBS_cod.json` in shard-id order.
+    det: Option<DetShardCounters>,
+    /// Wall-clock sink plus the trace lane this shard currently steps on
+    /// (re-pinned by whichever executor worker picks the shard up).
+    wall: Option<(Arc<WallTrace>, usize)>,
+}
+
 /// One worker of the fleet.
 pub struct Shard {
     /// Shard index within the fleet.
@@ -246,6 +271,8 @@ pub struct Shard {
     pool: BTreeMap<SessionShape, Vec<CraneSimulator>>,
     /// Accumulated counters.
     pub stats: ShardStats,
+    /// Observability hooks; `None` (the default) is the untraced hot path.
+    trace: Option<Box<ShardTrace>>,
     /// Test-only crash injection: a poisoned shard panics on its next
     /// [`Shard::step_batch`], exercising the executor paths that must
     /// surface a worker panic as a failed join.
@@ -268,8 +295,43 @@ impl Shard {
             residents: Vec::new(),
             pool: BTreeMap::new(),
             stats: ShardStats::default(),
+            trace: None,
             #[cfg(test)]
             poison_for_test: false,
+        }
+    }
+
+    /// Arms the shard's observability hooks. With `det` false and `wall`
+    /// `None` this is a no-op and the shard keeps its untraced hot path.
+    pub(crate) fn enable_trace(&mut self, det: bool, wall: Option<Arc<WallTrace>>) {
+        if !det && wall.is_none() {
+            return;
+        }
+        self.trace = Some(Box::new(ShardTrace {
+            det: det.then(DetShardCounters::default),
+            wall: wall.map(|w| (w, DRIVER_LANE)),
+        }));
+    }
+
+    /// Re-pins the shard's wall-clock spans to `lane` — called by whichever
+    /// executor worker picks the shard up this tick. No-op when the shard
+    /// carries no wall sink.
+    pub(crate) fn set_wall_lane(&mut self, lane: usize) {
+        if let Some(trace) = self.trace.as_mut() {
+            if let Some((_, l)) = trace.wall.as_mut() {
+                *l = lane;
+            }
+        }
+    }
+
+    /// Folds the shard's deterministic counters into `det`. Called once per
+    /// run, in shard-id order, so the aggregate is seed-stable.
+    pub(crate) fn fold_det_into(&self, det: &mut DetTrace) {
+        if let Some(c) = self.trace.as_ref().and_then(|t| t.det.as_ref()) {
+            det.add("frames_stepped", c.batch.frames_stepped);
+            det.add("cohorts_stepped", c.cohorts);
+            det.add("memo_hits", c.batch.memo_hits);
+            det.add("memo_misses", c.batch.memo_misses);
         }
     }
 
@@ -607,6 +669,9 @@ impl Shard {
                         }
                     }
                     r.frames_done += frames;
+                    if let Some(det) = self.trace.as_mut().and_then(|t| t.det.as_mut()) {
+                        det.batch.frames_stepped += frames as u64;
+                    }
                 }
             }
             SteppingMode::Batched => {
@@ -615,6 +680,11 @@ impl Shard {
                     cohorts.entry(SessionShape::of(&r.spec.config)).or_default().push(r);
                 }
                 for members in cohorts.values_mut() {
+                    let cohort_start = self
+                        .trace
+                        .as_ref()
+                        .and_then(|t| t.wall.as_ref())
+                        .map(|(w, lane)| (w.now_us(), *lane));
                     let budgets: Vec<usize> = members
                         .iter()
                         .map(|r| batch_frames.min(r.spec.frames.saturating_sub(r.frames_done)))
@@ -624,10 +694,21 @@ impl Shard {
                         .zip(&budgets)
                         .map(|(r, budget)| (&mut r.sim, *budget))
                         .collect();
-                    let costs = step_frames_batch(&mut batch)?;
+                    let costs = match self.trace.as_mut().and_then(|t| t.det.as_mut()) {
+                        Some(det) => {
+                            det.cohorts += 1;
+                            step_frames_batch_traced(&mut batch, Some(&mut det.batch))?
+                        }
+                        None => step_frames_batch(&mut batch)?,
+                    };
                     for ((r, budget), cost) in members.iter_mut().zip(&budgets).zip(&costs) {
                         tick_busy += *cost;
                         r.frames_done += *budget;
+                    }
+                    if let Some((start, lane)) = cohort_start {
+                        if let Some((w, _)) = self.trace.as_ref().and_then(|t| t.wall.as_ref()) {
+                            w.complete(lane, format!("cohort x{}", members.len()), "cohort", start);
+                        }
                     }
                 }
             }
@@ -717,6 +798,39 @@ mod tests {
         assert_eq!(shard.resident_count(), 0);
         assert_eq!(shard.stats.sessions_completed, 1);
         assert_eq!(shard.stats.sims_built, 1);
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing_and_allocates_nothing_on_the_hot_loop() {
+        // The Disabled path is a null pointer through the whole hot loop: a
+        // fresh shard carries no trace, arming it with both sinks off is a
+        // no-op, and the stepping results are bit-identical to a fully traced
+        // shard's — the hooks observe the loop, they never steer it.
+        let config =
+            ShardConfig { slots: 2, batch_frames: 4, pool_per_shape: 1, ..ShardConfig::default() };
+        let mut plain = Shard::new(0, config, 1.0);
+        assert!(plain.trace.is_none(), "a fresh shard allocates no trace");
+        plain.enable_trace(false, None);
+        assert!(plain.trace.is_none(), "disabled obs must not allocate a trace");
+        plain.admit(tiny_spec(0, 5, 8), 0, 0).unwrap();
+
+        let mut traced = Shard::new(0, config, 1.0);
+        traced.enable_trace(true, Some(Arc::new(WallTrace::new(0))));
+        traced.admit(tiny_spec(0, 5, 8), 0, 0).unwrap();
+
+        for _ in 0..2 {
+            let plain_result = plain.step_batch().unwrap();
+            let traced_result = traced.step_batch().unwrap();
+            assert_eq!(plain_result, traced_result, "tracing must never steer the hot loop");
+        }
+        assert!(plain.trace.is_none(), "the hot loop must not arm tracing by itself");
+        let mut det = DetTrace::new();
+        plain.fold_det_into(&mut det);
+        assert_eq!(det.fingerprint(), DetTrace::new().fingerprint(), "nothing was recorded");
+        // The traced twin did record: same results, plus the counters.
+        let counters = traced.trace.as_ref().and_then(|t| t.det.as_ref()).unwrap();
+        assert!(counters.batch.frames_stepped > 0);
+        assert!(counters.cohorts > 0);
     }
 
     #[test]

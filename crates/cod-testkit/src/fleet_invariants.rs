@@ -271,6 +271,55 @@ pub fn wallclock_equivalence_check(
     Ok((modeled, divergences))
 }
 
+/// Proves observability equivalence: the same configuration with the
+/// deterministic sink armed ([`cod_fleet::ObsConfig::Deterministic`]) must
+/// drain byte-identical `OBS_cod.json` bytes under [`ExecutionMode::Modeled`],
+/// [`ExecutionMode::ThreadPerShard`] and [`ExecutionMode::WallClock`] at each
+/// requested thread count — the sink records modeled time and seeded
+/// identifiers only, so who stepped the shards must be invisible in it.
+/// Returns the modeled run's report bytes plus, per mode label, the first
+/// byte where that run's report diverged (`None` everywhere proves
+/// equivalence).
+///
+/// # Errors
+///
+/// Returns the first hard error raised by any run.
+pub fn obs_equivalence_check(
+    config: &FleetConfig,
+    thread_counts: &[usize],
+) -> Result<(String, Vec<(String, Option<usize>)>), CbError> {
+    let obs_bytes = |execution: ExecutionMode| -> Result<String, CbError> {
+        let mut traced = config.clone();
+        traced.execution = execution;
+        traced.obs = cod_fleet::ObsConfig::Deterministic;
+        let (_, _, artifacts) = cod_fleet::run_fleet_traced(&traced)?;
+        let det = artifacts.det.expect("the deterministic sink was armed");
+        Ok(det.to_report_json(traced.workload.seed).to_pretty())
+    };
+    let reference = obs_bytes(ExecutionMode::Modeled)?;
+    let mut modes = vec![("thread-per-shard".to_owned(), ExecutionMode::ThreadPerShard)];
+    for &threads in thread_counts {
+        modes.push((format!("wallclock-{threads}"), ExecutionMode::WallClock { threads }));
+    }
+    let mut divergences = Vec::with_capacity(modes.len());
+    for (label, execution) in modes {
+        let bytes = obs_bytes(execution)?;
+        let divergence = if bytes == reference {
+            None
+        } else {
+            Some(
+                reference
+                    .bytes()
+                    .zip(bytes.bytes())
+                    .position(|(x, y)| x != y)
+                    .unwrap_or(reference.len().min(bytes.len())),
+            )
+        };
+        divergences.push((label, divergence));
+    }
+    Ok((reference, divergences))
+}
+
 /// Proves batched-stepping equivalence: the same configuration served with
 /// [`SteppingMode::Scalar`] (the reference hot loop, modeled execution) and
 /// with [`SteppingMode::Batched`] under [`ExecutionMode::Modeled`] and
@@ -515,6 +564,7 @@ mod tests {
                 mean_interarrival_ticks: 1,
             },
             execution: ExecutionMode::Modeled,
+            obs: Default::default(),
         }
     }
 

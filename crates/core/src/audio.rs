@@ -105,6 +105,15 @@ struct SharedWaveBank {
     bank: WaveBank,
 }
 
+/// Reads the cohort wavebank's memo hit/miss counters out of a batch scratch
+/// (zero when no audio module ever touched the slot). The counters survive the
+/// per-epoch `clear()` — they accumulate over a whole batch — which is what
+/// the traced batch stepper reports in its `BatchStepStats`.
+pub(crate) fn wavebank_memo_stats(scratch: &mut BatchScratch) -> (u64, u64) {
+    let shared: &mut SharedWaveBank = scratch.slot("audio.wavebank");
+    (shared.bank.hits(), shared.bank.misses())
+}
+
 impl LogicalProcess for AudioLp {
     fn name(&self) -> &str {
         "audio"

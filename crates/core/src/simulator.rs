@@ -266,8 +266,48 @@ impl CraneSimulator {
 pub fn step_frames_batch(
     batch: &mut [(&mut CraneSimulator, usize)],
 ) -> Result<Vec<Micros>, CbError> {
+    step_frames_batch_traced(batch, None)
+}
+
+/// Frame-level counters collected by [`step_frames_batch_traced`]: how many
+/// session frames the batch actually stepped and how the cohort's wavebank
+/// memo fared. Deterministic — a pure function of the cohort and the seed —
+/// so observability sinks may fold them into fingerprinted reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchStepStats {
+    /// Session frames stepped across all members (budget-gated, so less than
+    /// `members * max_budget` when budgets are ragged).
+    pub frames_stepped: u64,
+    /// Wavebank memo hits across the whole batch.
+    pub memo_hits: u64,
+    /// Wavebank memo misses (columns rendered then shared) across the batch.
+    pub memo_misses: u64,
+}
+
+impl BatchStepStats {
+    /// Accumulates another batch's counters into this one.
+    pub fn merge(&mut self, other: &BatchStepStats) {
+        self.frames_stepped += other.frames_stepped;
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+    }
+}
+
+/// [`step_frames_batch`] with an optional stats out-parameter. When `stats`
+/// is `Some`, the counters for this batch are *added* into it (callers keep
+/// one accumulator across many cohorts); the stepping itself is bit-identical
+/// either way.
+///
+/// # Errors
+///
+/// Returns the first error raised by any member's executive.
+pub fn step_frames_batch_traced(
+    batch: &mut [(&mut CraneSimulator, usize)],
+    stats: Option<&mut BatchStepStats>,
+) -> Result<Vec<Micros>, CbError> {
     let mut scratch = BatchScratch::new();
     let mut costs = vec![Micros::ZERO; batch.len()];
+    let mut frames_stepped = 0u64;
     let frames = batch.iter().map(|(_, budget)| *budget).max().unwrap_or(0);
     for frame in 0..frames {
         scratch.begin_frame();
@@ -277,8 +317,15 @@ pub fn step_frames_batch(
                 for (_, c) in &record.costs {
                     *cost += *c;
                 }
+                frames_stepped += 1;
             }
         }
+    }
+    if let Some(stats) = stats {
+        let (hits, misses) = crate::audio::wavebank_memo_stats(&mut scratch);
+        stats.frames_stepped += frames_stepped;
+        stats.memo_hits += hits;
+        stats.memo_misses += misses;
     }
     Ok(costs)
 }

@@ -8,8 +8,8 @@
 //! ```
 
 use cod_fleet::{
-    run_fleet_timed, ExecutionMode, FleetConfig, PlacementPolicy, Priority, ShardConfig,
-    WorkloadConfig,
+    run_fleet_traced, ExecutionMode, FleetConfig, ObsConfig, PlacementPolicy, Priority,
+    ShardConfig, WorkloadConfig,
 };
 
 fn main() {
@@ -36,6 +36,7 @@ fn main() {
             mean_interarrival_ticks: 1,
         },
         execution: ExecutionMode::WallClock { threads: 4 },
+        obs: ObsConfig::Full,
     };
 
     println!(
@@ -54,7 +55,7 @@ fn main() {
         "policies: speed-weighted placement, preemption on, live migration on, fidelity tiering on\n"
     );
 
-    let (outcome, wall) = run_fleet_timed(&config).expect("fleet drains");
+    let (outcome, wall, traces) = run_fleet_traced(&config).expect("fleet drains");
     let report = cod_fleet::FleetReport::from_outcome(&outcome);
     print!("{}", report.render_table());
 
@@ -102,4 +103,37 @@ fn main() {
         wall.wall.as_secs_f64(),
         wall.threads,
     );
+
+    // Observability artifacts: the Perfetto trace of this run plus the
+    // deterministic metrics aggregate (identical bytes every run of this
+    // seed — open the trace in https://ui.perfetto.dev or about://tracing).
+    let trace = traces.wall.expect("obs: Full arms the wall sink");
+    let det = traces.det.expect("obs: Full arms the deterministic sink");
+    std::fs::create_dir_all("target/obs").expect("create target/obs");
+    let trace_path = "target/obs/fleet_serving_trace.json";
+    std::fs::write(trace_path, trace.to_chrome_json().to_pretty()).expect("write trace");
+    println!("\nperfetto trace: {trace_path} ({} events)", trace.event_count());
+    println!(
+        "obs metrics: {} frames stepped in {} lockstep cohorts ({} memo hits / {} misses)",
+        det.counter("frames_stepped"),
+        det.counter("cohorts_stepped"),
+        det.counter("memo_hits"),
+        det.counter("memo_misses"),
+    );
+    println!(
+        "obs events: {} placements, {} rejections, {} preemptions, {} migrations",
+        det.events_of("place"),
+        det.events_of("reject"),
+        det.events_of("preempt"),
+        det.events_of("migrate"),
+    );
+    let makespan = det.histogram("tick_makespan_us").expect("per-tick histogram");
+    println!(
+        "obs tick makespan: mean {:.0} us, min {} us, max {} us over {} ticks",
+        makespan.mean(),
+        makespan.min(),
+        makespan.max(),
+        makespan.count(),
+    );
+    println!("obs fingerprint: {:#018x} (byte-stable per seed)", det.fingerprint());
 }

@@ -48,6 +48,7 @@ fn hetero_config(seed: u64) -> FleetConfig {
             mean_interarrival_ticks: 1,
         },
         execution: ExecutionMode::Modeled,
+        obs: Default::default(),
     }
 }
 

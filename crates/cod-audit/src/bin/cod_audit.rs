@@ -1,0 +1,117 @@
+//! Runs the workspace determinism audit and writes `AUDIT_cod.json`.
+//!
+//! ```text
+//! cargo run --release -p cod-audit --bin cod_audit [-- --quick] \
+//!     [--root DIR] [--config PATH] [--out PATH]
+//! ```
+//!
+//! Walks every `.rs` file under the roots configured in `audit.toml`,
+//! enforces rules R1..R6 (see the README's "Static analysis" table), prints
+//! one rustc-style `file:line: rule [code]: message` diagnostic per hard
+//! violation, writes the machine-readable per-rule summary, and exits
+//! non-zero when the tree is not audit-clean. `--quick` suppresses the
+//! per-rule table on a clean tree — the scan itself is always complete.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use cod_audit::{audit_tree, AuditConfig};
+
+const USAGE: &str = "usage: cod_audit [--quick] [--root DIR] [--config PATH] [--out PATH]";
+
+struct Args {
+    quick: bool,
+    root: PathBuf,
+    config: Option<PathBuf>,
+    out: Option<PathBuf>,
+    help: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { quick: false, root: PathBuf::from("."), config: None, out: None, help: false };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--root" => {
+                args.root = argv
+                    .next()
+                    .map(PathBuf::from)
+                    .ok_or_else(|| format!("--root needs a directory\n{USAGE}"))?;
+            }
+            "--config" => {
+                args.config = Some(
+                    argv.next()
+                        .map(PathBuf::from)
+                        .ok_or_else(|| format!("--config needs a path\n{USAGE}"))?,
+                );
+            }
+            "--out" => {
+                args.out = Some(
+                    argv.next()
+                        .map(PathBuf::from)
+                        .ok_or_else(|| format!("--out needs a path\n{USAGE}"))?,
+                );
+            }
+            "--help" | "-h" => args.help = true,
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Finds the workspace root: the given `--root`, or the nearest ancestor of
+/// the current directory holding an `audit.toml` (so the tool also works
+/// from a crate subdirectory).
+fn resolve_root(root: &Path) -> PathBuf {
+    let mut dir = root.to_owned();
+    loop {
+        if dir.join("audit.toml").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            return root.to_owned();
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let root =
+        resolve_root(&std::fs::canonicalize(&args.root).unwrap_or_else(|_| args.root.clone()));
+    let config_path = args.config.clone().unwrap_or_else(|| root.join("audit.toml"));
+    let config_text = std::fs::read_to_string(&config_path)
+        .map_err(|err| format!("cannot read {}: {err}", config_path.display()))?;
+    let config = AuditConfig::parse(&config_text).map_err(|err| err.to_string())?;
+
+    let report = audit_tree(&root, &config).map_err(|err| format!("audit walk failed: {err}"))?;
+    print!("{}", report.render_text(args.quick));
+
+    let out = args.out.clone().unwrap_or_else(|| root.join("AUDIT_cod.json"));
+    std::fs::write(&out, report.to_json().to_pretty())
+        .map_err(|err| format!("cannot write {}: {err}", out.display()))?;
+    println!("wrote {}", out.display());
+    Ok(report.clean())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("cod-audit: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

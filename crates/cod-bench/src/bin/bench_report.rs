@@ -83,7 +83,7 @@ fn main() -> ExitCode {
         println!("{}", result.summary());
     }
 
-    let report = BenchReport::new(args.quick, results);
+    let report = BenchReport::new(args.quick, cod_bench::measure::wall_unix_ms(), results);
     println!("\n=== measured vs paper ===\n{}", report.comparison_table());
 
     if let Err(error) = report.write_file(&args.out) {

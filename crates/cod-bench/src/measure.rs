@@ -185,6 +185,16 @@ pub fn measure<F: FnMut()>(config: &MeasureConfig, mut routine: F) -> Measuremen
     Measurement { stats: Stats::from_samples(&samples, config), iters_per_sample: iters }
 }
 
+/// Milliseconds since the Unix epoch, for stamping report metadata. Lives
+/// here — the measurement layer is the workspace's wall-clock fence (see
+/// `audit.toml`) — so the report modules themselves never read a clock.
+pub fn wall_unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
 /// Picks how many iterations one timed sample should batch so that a sample
 /// lasts roughly `target_sample_time`, based on a single timed probe run.
 fn calibrate<F: FnMut()>(config: &MeasureConfig, routine: &mut F) -> u64 {

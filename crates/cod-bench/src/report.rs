@@ -186,12 +186,16 @@ pub struct BenchReport {
 }
 
 impl BenchReport {
-    /// Builds a report stamped with the current wall-clock time.
-    pub fn new(quick: bool, experiments: Vec<ExperimentResult>) -> BenchReport {
-        let generated_unix_ms = std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.as_millis() as u64)
-            .unwrap_or(0);
+    /// Builds a report stamped with `generated_unix_ms` (milliseconds since
+    /// the Unix epoch — [`crate::measure::wall_unix_ms`] supplies it). The
+    /// clock read lives with the rest of the measurement layer's wall-clock
+    /// plumbing, not here: this module's output is diffed mechanically by
+    /// CI, so `cod_audit` holds it to the ambient-env rule.
+    pub fn new(
+        quick: bool,
+        generated_unix_ms: u64,
+        experiments: Vec<ExperimentResult>,
+    ) -> BenchReport {
         BenchReport { schema_version: SCHEMA_VERSION, quick, generated_unix_ms, experiments }
     }
 

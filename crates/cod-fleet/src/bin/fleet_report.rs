@@ -42,13 +42,12 @@
 //! runs with the same seed produce byte-identical files — preemption,
 //! migration and retiering included.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::process::ExitCode;
-use std::time::Instant;
 
 use cod_fleet::{
     document, run_fleet, run_fleet_timed, ExecutionMode, FleetConfig, FleetReport, PlacementPolicy,
-    Priority, TieredSection,
+    Priority, TieredSection, WallStopwatch,
 };
 use crane_sim::SCORE_DRIFT_TOLERANCE;
 
@@ -192,19 +191,19 @@ fn main() -> ExitCode {
         Err(err) => Err(format!("{label} run failed: {err}")),
     };
 
-    let wall = Instant::now();
+    let wall = WallStopwatch::start();
     let baseline = match timed(&make_config(1), "baseline") {
         Ok(report) => report,
         Err(msg) => return die(&msg),
     };
-    let baseline_wall = wall.elapsed();
-    let wall = Instant::now();
+    let baseline_wall = wall.read();
+    let wall = WallStopwatch::start();
     let fleet = match timed(&make_config(args.shards), "fleet") {
         Ok(report) => report,
         Err(msg) => return die(&msg),
     };
-    let fleet_wall = wall.elapsed();
-    let wall = Instant::now();
+    let fleet_wall = wall.read();
+    let wall = WallStopwatch::start();
     let naive = match timed(&hetero_naive, "heterogeneous least-resident") {
         Ok(report) => report,
         Err(msg) => return die(&msg),
@@ -217,10 +216,10 @@ fn main() -> ExitCode {
         Ok(report) => report,
         Err(msg) => return die(&msg),
     };
-    let hetero_wall = wall.elapsed();
+    let hetero_wall = wall.read();
     // The tiered pair keeps its outcomes: the score-drift gate pairs the two
     // runs' sessions by id, which the serialized reports no longer carry.
-    let wall = Instant::now();
+    let wall = WallStopwatch::start();
     let all_full_outcome = match run_fleet(&tiered_full) {
         Ok(outcome) => outcome,
         Err(err) => return die(&format!("all-Full burst run failed: {err}")),
@@ -229,8 +228,8 @@ fn main() -> ExitCode {
         Ok(outcome) => outcome,
         Err(err) => return die(&format!("tiered burst run failed: {err}")),
     };
-    let tiered_wall = wall.elapsed();
-    let full_scores: HashMap<u64, f64> =
+    let tiered_wall = wall.read();
+    let full_scores: BTreeMap<u64, f64> =
         all_full_outcome.sessions.iter().map(|s| (s.id, s.score)).collect();
     let max_score_drift = tiered_outcome
         .sessions

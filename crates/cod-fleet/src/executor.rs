@@ -30,6 +30,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use cod_cb::CbError;
 use cod_net::Micros;
@@ -38,6 +39,32 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 
 use crate::shard::{Completed, Shard};
+
+/// A wall-clock stopwatch: started once, read as a [`Duration`] since.
+///
+/// This is the only sanctioned way for fleet code outside this module to
+/// measure real time. `cod_audit` bans `Instant`/`elapsed(` everywhere but
+/// the explicit wall-clock allowlist (this file is on it), so routing every
+/// fleet timing through here keeps the fence mechanical: a stray clock read
+/// in the deterministic tick loop is a lint error, not a seed hunt. The
+/// reading deliberately lands in a [`Duration`] — a value, not a clock — so
+/// the borrow ends at the fence.
+#[derive(Debug, Clone, Copy)]
+pub struct WallStopwatch {
+    started: Instant,
+}
+
+impl WallStopwatch {
+    /// Starts the stopwatch now.
+    pub fn start() -> WallStopwatch {
+        WallStopwatch { started: Instant::now() }
+    }
+
+    /// Real time since [`WallStopwatch::start`].
+    pub fn read(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
 
 /// One tick's result for one shard: its retirements plus its modeled busy
 /// time.

@@ -40,7 +40,7 @@
 //! ever touching the fingerprinted output.
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use cod_cb::CbError;
 use cod_net::Micros;
@@ -48,7 +48,7 @@ use cod_trace::{DetTrace, ObsConfig, WallTrace, DRIVER_LANE};
 use crane_sim::FidelityTier;
 
 use crate::admission::{AdmissionConfig, AdmissionState};
-use crate::executor::{TickResult, WallClockExecutor};
+use crate::executor::{TickResult, WallClockExecutor, WallStopwatch};
 use crate::shard::{Completed, PortableSession, Shard, ShardConfig, ShardStats};
 use crate::workload::{coarse_eligible, generate, initial_tier, Priority, WorkloadConfig};
 
@@ -406,7 +406,7 @@ fn next_queued(queue: &[QueueEntry]) -> Option<usize> {
         .map(|(i, _)| i)
 }
 
-/// Wall-clock timings of one fleet run, measured with [`Instant`] and
+/// Wall-clock timings of one fleet run, measured with [`WallStopwatch`] and
 /// reported *beside* the deterministic [`FleetOutcome`] — never inside it.
 /// The outcome derives `PartialEq` and is compared byte for byte across
 /// execution modes; real elapsed time legitimately varies run to run, so it
@@ -496,7 +496,7 @@ pub struct TraceArtifacts {
 pub fn run_fleet_traced(
     config: &FleetConfig,
 ) -> Result<(FleetOutcome, WallClockStats, TraceArtifacts), CbError> {
-    let run_started = Instant::now();
+    let run_started = WallStopwatch::start();
     let mut stepping_wall = Duration::ZERO;
     let mut det = config.obs.deterministic_enabled().then(DetTrace::new);
     let wall = config.obs.wall_enabled().then(|| {
@@ -668,13 +668,13 @@ pub fn run_fleet_traced(
         }
 
         // 4. Batch-step every shard under the configured execution mode.
-        let step_started = Instant::now();
+        let step_started = WallStopwatch::start();
         let step_start_us = wall.as_ref().map(|w| w.now_us());
         let results = step_all(&mut shards, config.execution, executor.as_ref())?;
         if let (Some(w), Some(start)) = (wall.as_ref(), step_start_us) {
             w.complete(DRIVER_LANE, "step-phase".to_string(), "step", start);
         }
-        stepping_wall += step_started.elapsed();
+        stepping_wall += step_started.read();
 
         // 5. Fold the results back in shard order (determinism) and account
         //    the tick at the critical shard's cost, replays included.
@@ -732,7 +732,7 @@ pub fn run_fleet_traced(
         }
     }
     let stats = WallClockStats {
-        wall: run_started.elapsed(),
+        wall: run_started.read(),
         stepping_wall,
         threads: config.execution.threads_for(config.shards),
         ticks: tick,

@@ -66,7 +66,7 @@ pub mod workload;
 
 pub use admission::{AdmissionConfig, AdmissionState};
 pub use cod_trace::{DetTrace, Histogram, ObsConfig, WallTrace, OBS_SCHEMA};
-pub use executor::WallClockExecutor;
+pub use executor::{WallClockExecutor, WallStopwatch};
 pub use fleet::{
     run_fleet, run_fleet_timed, run_fleet_traced, ExecutionMode, FleetConfig, FleetOutcome,
     PlacementPolicy, SessionOutcome, TraceArtifacts, WallClockStats,

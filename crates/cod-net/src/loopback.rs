@@ -173,6 +173,9 @@ mod tests {
         let mut a = hub.attach();
         let mut b = hub.attach();
         let b_addr = b.local_addr();
+        // Serving threads belong to the cod-fleet executor; this test only
+        // proves the hub's mutex sharing across a second thread.
+        // audit:allow(thread-spawn): test-only cross-thread smoke.
         let handle = std::thread::spawn(move || {
             a.send(Destination::Unicast(b_addr), b"threaded").unwrap();
         });

@@ -23,15 +23,11 @@
 //! an `Option` that is `None` when tracing is off, so the hot loops neither
 //! record nor allocate.
 
-use std::collections::BTreeMap;
-use std::sync::Mutex;
-use std::time::Instant;
+pub mod det;
+pub mod wall;
 
-use cod_json::Json;
-use sim_math::Fnv1a;
-
-/// Schema version of `OBS_cod.json`; bump on breaking layout changes.
-pub const OBS_SCHEMA: &str = "cod-obs-v1";
+pub use det::{DetEvent, DetTrace, Histogram, OBS_SCHEMA};
+pub use wall::{WallTrace, DRIVER_LANE};
 
 /// What the fleet records, if anything. The default records nothing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -66,377 +62,6 @@ impl ObsConfig {
         !matches!(self, ObsConfig::Disabled)
     }
 }
-
-/// A log2-bucketed histogram of `u64` samples (modeled microseconds, tick
-/// counts, ...). Bucket `i` holds samples whose bit length is `i`, so the
-/// shape is scale-free and the memory constant — and, because bucketing is
-/// pure integer arithmetic on deterministic values, two runs of the same
-/// seed fill identical histograms.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Histogram {
-    buckets: [u64; 65],
-    count: u64,
-    sum: u64,
-    min: u64,
-    max: u64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram { buckets: [0; 65], count: 0, sum: 0, min: 0, max: 0 }
-    }
-}
-
-impl Histogram {
-    /// Records one sample.
-    pub fn record(&mut self, value: u64) {
-        let bucket = (64 - value.leading_zeros()) as usize;
-        self.buckets[bucket] += 1;
-        self.sum = self.sum.saturating_add(value);
-        self.min = if self.count == 0 { value } else { self.min.min(value) };
-        self.max = self.max.max(value);
-        self.count += 1;
-    }
-
-    /// Number of samples recorded.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean of the recorded samples (0.0 when empty).
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
-    }
-
-    /// Smallest recorded sample (0 when empty).
-    pub fn min(&self) -> u64 {
-        self.min
-    }
-
-    /// Largest recorded sample (0 when empty).
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    fn fold_into(&self, h: &mut Fnv1a) {
-        h.write_u64(self.count);
-        h.write_u64(self.sum);
-        h.write_u64(self.min);
-        h.write_u64(self.max);
-        for (i, n) in self.buckets.iter().enumerate() {
-            if *n > 0 {
-                h.write_u64(i as u64);
-                h.write_u64(*n);
-            }
-        }
-    }
-
-    fn to_json(&self) -> Json {
-        Json::Obj(vec![
-            ("count".into(), Json::Num(self.count as f64)),
-            ("sum".into(), Json::Str(format!("{:#x}", self.sum))),
-            ("min".into(), Json::Str(format!("{:#x}", self.min))),
-            ("max".into(), Json::Str(format!("{:#x}", self.max))),
-            ("mean".into(), Json::Num(self.mean())),
-            (
-                "log2_buckets".into(),
-                Json::Obj(
-                    self.buckets
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, n)| **n > 0)
-                        .map(|(i, n)| (format!("{i}"), Json::Num(*n as f64)))
-                        .collect(),
-                ),
-            ),
-        ])
-    }
-}
-
-/// One discrete deterministic event: something the fleet driver decided at a
-/// modeled instant, about a seeded session. No wall-clock field by
-/// construction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct DetEvent {
-    /// Fleet tick the event happened at.
-    pub tick: u64,
-    /// What happened (`"place"`, `"reject"`, `"preempt"`, `"migrate"`,
-    /// `"promote"`, `"demote"`).
-    pub kind: &'static str,
-    /// The seeded session id the event concerns.
-    pub id: u64,
-    /// The shard involved, or `-1` when none is (a rejection never reached
-    /// one).
-    pub shard: i64,
-}
-
-/// The deterministic sink: counters, histograms and events derived from
-/// modeled time and seeded identifiers only. Serialized to `OBS_cod.json`
-/// by [`DetTrace::to_report_json`]; the bytes are byte-identical per seed
-/// across execution modes and thread counts because nothing wall-clock ever
-/// enters.
-#[derive(Debug, Clone, PartialEq, Default)]
-pub struct DetTrace {
-    counters: BTreeMap<&'static str, u64>,
-    histograms: BTreeMap<&'static str, Histogram>,
-    events: Vec<DetEvent>,
-}
-
-impl DetTrace {
-    /// Creates an empty trace.
-    pub fn new() -> DetTrace {
-        DetTrace::default()
-    }
-
-    /// Adds `n` to the counter `key` (created at zero on first use).
-    pub fn add(&mut self, key: &'static str, n: u64) {
-        *self.counters.entry(key).or_insert(0) += n;
-    }
-
-    /// Sets the counter `key` to `n` (overwriting any previous value).
-    pub fn set(&mut self, key: &'static str, n: u64) {
-        self.counters.insert(key, n);
-    }
-
-    /// The current value of counter `key` (0 when never touched).
-    pub fn counter(&self, key: &str) -> u64 {
-        self.counters.get(key).copied().unwrap_or(0)
-    }
-
-    /// Records `value` into the histogram `key` (created on first use).
-    pub fn record(&mut self, key: &'static str, value: u64) {
-        self.histograms.entry(key).or_default().record(value);
-    }
-
-    /// The histogram `key`, if any sample was recorded.
-    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
-        self.histograms.get(key)
-    }
-
-    /// Appends a discrete event.
-    pub fn event(&mut self, tick: u64, kind: &'static str, id: u64, shard: i64) {
-        self.events.push(DetEvent { tick, kind, id, shard });
-    }
-
-    /// The recorded events, in recording order.
-    pub fn events(&self) -> &[DetEvent] {
-        &self.events
-    }
-
-    /// Number of events of one kind.
-    pub fn events_of(&self, kind: &str) -> usize {
-        self.events.iter().filter(|e| e.kind == kind).count()
-    }
-
-    /// FNV-1a fingerprint over every counter, histogram and event. Two runs
-    /// of the same seed must agree bit for bit.
-    pub fn fingerprint(&self) -> u64 {
-        let mut h = Fnv1a::new();
-        h.write_u64(self.counters.len() as u64);
-        for (key, value) in &self.counters {
-            h.write_bytes(key.as_bytes());
-            h.write_u64(*value);
-        }
-        h.write_u64(self.histograms.len() as u64);
-        for (key, hist) in &self.histograms {
-            h.write_bytes(key.as_bytes());
-            hist.fold_into(&mut h);
-        }
-        h.write_u64(self.events.len() as u64);
-        for e in &self.events {
-            h.write_u64(e.tick);
-            h.write_bytes(e.kind.as_bytes());
-            h.write_u64(e.id);
-            h.write_u64(e.shard as u64);
-        }
-        h.finish()
-    }
-
-    /// Serializes the trace to the `OBS_cod.json` schema: own schema string,
-    /// the run's seed, sorted counters and histograms, the event log and a
-    /// fingerprint of all of it. Deliberately a *separate* document from
-    /// `FLEET_cod.json` with a separate fingerprint: observability data must
-    /// never perturb the serving report's byte-identity gate.
-    pub fn to_report_json(&self, seed: u64) -> Json {
-        Json::Obj(vec![
-            ("schema".into(), Json::Str(OBS_SCHEMA.into())),
-            ("seed".into(), Json::Str(format!("{seed:#x}"))),
-            (
-                "counters".into(),
-                Json::Obj(
-                    self.counters
-                        .iter()
-                        .map(|(k, v)| ((*k).to_owned(), Json::Str(format!("{v:#x}"))))
-                        .collect(),
-                ),
-            ),
-            (
-                "histograms".into(),
-                Json::Obj(
-                    self.histograms.iter().map(|(k, h)| ((*k).to_owned(), h.to_json())).collect(),
-                ),
-            ),
-            (
-                "events".into(),
-                Json::Arr(
-                    self.events
-                        .iter()
-                        .map(|e| {
-                            Json::Obj(vec![
-                                ("tick".into(), Json::Num(e.tick as f64)),
-                                ("kind".into(), Json::Str(e.kind.into())),
-                                ("id".into(), Json::Str(format!("{:#x}", e.id))),
-                                ("shard".into(), Json::Num(e.shard as f64)),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
-            ("fingerprint".into(), Json::Str(format!("{:016x}", self.fingerprint()))),
-        ])
-    }
-}
-
-/// One wall-clock record: a complete span (`ph: "X"`) or an instant
-/// (`ph: "i"`), in Chrome trace-event terms.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct WallEvent {
-    name: String,
-    cat: &'static str,
-    /// `'X'` complete span, `'i'` instant.
-    ph: char,
-    ts_us: u64,
-    dur_us: u64,
-}
-
-/// The wall-clock sink: per-lane real-time span records, exported as Chrome
-/// trace-event JSON for Perfetto / `about://tracing`. Lane 0 is the fleet
-/// driver; lanes `1..=workers` are the executor's worker threads. Lanes are
-/// independently locked so workers never contend with each other on the hot
-/// path.
-///
-/// Everything here is real time and varies run to run — which is exactly why
-/// none of it is ever serialized into a fingerprinted report.
-#[derive(Debug)]
-pub struct WallTrace {
-    epoch: Instant,
-    lanes: Vec<Mutex<Vec<WallEvent>>>,
-}
-
-/// The driver's lane in a [`WallTrace`].
-pub const DRIVER_LANE: usize = 0;
-
-impl WallTrace {
-    /// Creates a trace with `workers` worker lanes plus the driver lane.
-    pub fn new(workers: usize) -> WallTrace {
-        WallTrace {
-            epoch: Instant::now(),
-            lanes: (0..=workers).map(|_| Mutex::new(Vec::new())).collect(),
-        }
-    }
-
-    /// The lane of worker thread `index`.
-    pub fn worker_lane(index: usize) -> usize {
-        index + 1
-    }
-
-    /// Number of lanes (driver + workers).
-    pub fn lanes(&self) -> usize {
-        self.lanes.len()
-    }
-
-    /// Microseconds since the trace was created — the `ts` clock every
-    /// record uses.
-    pub fn now_us(&self) -> u64 {
-        self.epoch.elapsed().as_micros() as u64
-    }
-
-    /// Records a complete span on `lane` from `start_us` to now.
-    pub fn complete(&self, lane: usize, name: String, cat: &'static str, start_us: u64) {
-        let end = self.now_us();
-        let event =
-            WallEvent { name, cat, ph: 'X', ts_us: start_us, dur_us: end.saturating_sub(start_us) };
-        self.push(lane, event);
-    }
-
-    /// Records an instant on `lane`.
-    pub fn instant(&self, lane: usize, name: &str, cat: &'static str) {
-        let event =
-            WallEvent { name: name.to_owned(), cat, ph: 'i', ts_us: self.now_us(), dur_us: 0 };
-        self.push(lane, event);
-    }
-
-    fn push(&self, lane: usize, event: WallEvent) {
-        if let Some(lane) = self.lanes.get(lane) {
-            lane.lock().expect("wall-trace lane poisoned").push(event);
-        }
-    }
-
-    /// Total records across every lane.
-    pub fn event_count(&self) -> usize {
-        self.lanes.iter().map(|l| l.lock().expect("wall-trace lane poisoned").len()).sum()
-    }
-
-    /// Records on `lane` matching `cat` (all records when `cat` is empty).
-    pub fn count_of(&self, lane: usize, cat: &str) -> usize {
-        self.lanes
-            .get(lane)
-            .map(|l| {
-                l.lock()
-                    .expect("wall-trace lane poisoned")
-                    .iter()
-                    .filter(|e| cat.is_empty() || e.cat == cat)
-                    .count()
-            })
-            .unwrap_or(0)
-    }
-
-    /// Serializes every lane to Chrome trace-event JSON: a `traceEvents`
-    /// array of complete (`"X"`) and instant (`"i"`) events, preceded by one
-    /// `thread_name` metadata record per lane so Perfetto labels the driver
-    /// and each `fleet-worker-N`. Load the written file in
-    /// <https://ui.perfetto.dev> or `about://tracing`.
-    pub fn to_chrome_json(&self) -> Json {
-        let mut events = Vec::new();
-        for (lane, records) in self.lanes.iter().enumerate() {
-            let label = if lane == DRIVER_LANE {
-                "fleet-driver".to_owned()
-            } else {
-                format!("fleet-worker-{}", lane - 1)
-            };
-            events.push(Json::Obj(vec![
-                ("name".into(), Json::Str("thread_name".into())),
-                ("ph".into(), Json::Str("M".into())),
-                ("pid".into(), Json::Num(1.0)),
-                ("tid".into(), Json::Num(lane as f64)),
-                ("args".into(), Json::Obj(vec![("name".into(), Json::Str(label))])),
-            ]));
-            for e in records.lock().expect("wall-trace lane poisoned").iter() {
-                let mut members = vec![
-                    ("name".into(), Json::Str(e.name.clone())),
-                    ("cat".into(), Json::Str(e.cat.into())),
-                    ("ph".into(), Json::Str(e.ph.to_string())),
-                    ("ts".into(), Json::Num(e.ts_us as f64)),
-                ];
-                if e.ph == 'X' {
-                    members.push(("dur".into(), Json::Num(e.dur_us as f64)));
-                } else {
-                    // Thread-scoped instants render as lane-local marks.
-                    members.push(("s".into(), Json::Str("t".into())));
-                }
-                members.push(("pid".into(), Json::Num(1.0)));
-                members.push(("tid".into(), Json::Num(lane as f64)));
-                events.push(Json::Obj(members));
-            }
-        }
-        Json::Obj(vec![("traceEvents".into(), Json::Arr(events))])
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -453,103 +78,5 @@ mod tests {
         assert!(ObsConfig::Wall.wall_enabled());
         assert!(!ObsConfig::Wall.deterministic_enabled());
         assert!(ObsConfig::Full.deterministic_enabled() && ObsConfig::Full.wall_enabled());
-    }
-
-    #[test]
-    fn histogram_buckets_by_bit_length_and_tracks_extremes() {
-        let mut h = Histogram::default();
-        for v in [0u64, 1, 2, 3, 4, 1024, u64::MAX] {
-            h.record(v);
-        }
-        assert_eq!(h.count(), 7);
-        assert_eq!(h.min(), 0);
-        assert_eq!(h.max(), u64::MAX);
-        assert!(h.mean() > 0.0);
-        // 0 -> bucket 0, 1 -> 1, 2..3 -> 2, 4 -> 3, 1024 -> 11, MAX -> 64.
-        assert_eq!(h.buckets[0], 1);
-        assert_eq!(h.buckets[1], 1);
-        assert_eq!(h.buckets[2], 2);
-        assert_eq!(h.buckets[3], 1);
-        assert_eq!(h.buckets[11], 1);
-        assert_eq!(h.buckets[64], 1);
-    }
-
-    #[test]
-    fn det_trace_is_a_pure_function_of_its_inputs() {
-        let build = || {
-            let mut t = DetTrace::new();
-            t.add("frames", 7);
-            t.add("frames", 3);
-            t.set("ticks", 4);
-            t.record("latency_ticks", 3);
-            t.record("latency_ticks", 9);
-            t.event(1, "place", 0xAB, 2);
-            t.event(2, "reject", 0xCD, -1);
-            t
-        };
-        let a = build();
-        let b = build();
-        assert_eq!(a.counter("frames"), 10);
-        assert_eq!(a.events_of("place"), 1);
-        assert_eq!(a.fingerprint(), b.fingerprint());
-        assert_eq!(
-            a.to_report_json(0xC0D).to_pretty(),
-            b.to_report_json(0xC0D).to_pretty(),
-            "same inputs must serialize to identical bytes"
-        );
-        // Any divergence in inputs must change the fingerprint.
-        let mut c = build();
-        c.add("frames", 1);
-        assert_ne!(a.fingerprint(), c.fingerprint());
-    }
-
-    #[test]
-    fn obs_report_parses_and_carries_the_schema() {
-        let mut t = DetTrace::new();
-        t.add("ticks", 2);
-        t.record("tick_makespan_us", 1500);
-        t.event(0, "place", 1, 0);
-        let text = t.to_report_json(0x5EED).to_pretty();
-        let parsed = Json::parse(&text).expect("valid JSON");
-        assert_eq!(parsed.get("schema").and_then(Json::as_str), Some(OBS_SCHEMA));
-        assert_eq!(parsed.get("seed").and_then(Json::as_str), Some("0x5eed"));
-        assert_eq!(
-            parsed.get("counters").and_then(|c| c.get("ticks")).and_then(Json::as_str),
-            Some("0x2")
-        );
-        let hist = parsed.get("histograms").and_then(|h| h.get("tick_makespan_us")).unwrap();
-        assert_eq!(hist.get("count").and_then(Json::as_f64), Some(1.0));
-        assert!(parsed.get("fingerprint").and_then(Json::as_str).is_some());
-    }
-
-    #[test]
-    fn wall_trace_exports_labeled_lanes_with_spans_and_instants() {
-        let wall = WallTrace::new(2);
-        assert_eq!(wall.lanes(), 3);
-        let t0 = wall.now_us();
-        wall.complete(DRIVER_LANE, "tick 0".into(), "tick", t0);
-        wall.instant(WallTrace::worker_lane(0), "injector-take", "steal");
-        wall.complete(WallTrace::worker_lane(1), "shard1".into(), "step", t0);
-        assert_eq!(wall.event_count(), 3);
-        assert_eq!(wall.count_of(WallTrace::worker_lane(0), "steal"), 1);
-        let text = wall.to_chrome_json().to_pretty();
-        let parsed = Json::parse(&text).expect("valid JSON");
-        let events = parsed.get("traceEvents").and_then(Json::as_arr).expect("traceEvents array");
-        // 3 metadata records + 3 events.
-        assert_eq!(events.len(), 6);
-        let names: Vec<&str> =
-            events.iter().filter_map(|e| e.get("name").and_then(Json::as_str)).collect();
-        assert!(names.contains(&"thread_name"));
-        assert!(names.contains(&"injector-take"));
-        let phases: Vec<&str> =
-            events.iter().filter_map(|e| e.get("ph").and_then(Json::as_str)).collect();
-        assert!(phases.contains(&"X") && phases.contains(&"i") && phases.contains(&"M"));
-    }
-
-    #[test]
-    fn out_of_range_lane_records_are_dropped_not_panicking() {
-        let wall = WallTrace::new(1);
-        wall.instant(99, "nowhere", "steal");
-        assert_eq!(wall.event_count(), 0);
     }
 }

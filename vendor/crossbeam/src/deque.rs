@@ -305,6 +305,9 @@ mod tests {
                 let injector = Arc::clone(&injector);
                 let sum = Arc::clone(&sum);
                 let count = Arc::clone(&count);
+                // Production threads go through cod-fleet's executor, which
+                // is built on this module.
+                // audit:allow(thread-spawn): the deque's own hand-off test.
                 std::thread::spawn(move || {
                     let local: Worker<usize> = Worker::new_fifo();
                     loop {
